@@ -1,0 +1,76 @@
+// Command experiments regenerates the tables and figures of the
+// Vegapunk paper's evaluation section.
+//
+// Usage:
+//
+//	experiments -run fig10           # one experiment
+//	experiments -run all             # everything, in paper order
+//	experiments -list                # show available ids
+//	experiments -run table2 -quality full -workers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vegapunk/internal/exp"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id (fig2, fig3a, fig3b, table1..table4, fig10..fig14b) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		quality = flag.String("quality", "quick", "Monte-Carlo budget: quick | normal | full")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel shot workers")
+		seed    = flag.Uint64("seed", 2025, "random seed")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, r := range exp.All() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+		}
+		if *run == "" {
+			os.Exit(0)
+		}
+	}
+
+	var q exp.Quality
+	switch *quality {
+	case "quick":
+		q = exp.Quick
+	case "normal":
+		q = exp.Normal
+	case "full":
+		q = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown quality %q\n", *quality)
+		os.Exit(2)
+	}
+	cfg := exp.Config{Out: os.Stdout, Quality: q, Workers: *workers, Seed: *seed}
+	ws := exp.NewWorkspace()
+
+	var runners []exp.Runner
+	if *run == "all" {
+		runners = exp.All()
+	} else {
+		r, ok := exp.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		runners = []exp.Runner{r}
+	}
+	for _, r := range runners {
+		t0 := time.Now()
+		if err := r.Run(cfg, ws); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

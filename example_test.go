@@ -1,0 +1,54 @@
+package vegapunk_test
+
+import (
+	"fmt"
+
+	"vegapunk"
+)
+
+// ExampleNewVegapunk shows the end-to-end decode flow: build a code,
+// attach noise, run the offline decoupling, decode a syndrome.
+func ExampleNewVegapunk() {
+	c, _ := vegapunk.BBCode(0) // [[72,12,6]]
+	model := vegapunk.CircuitLevelNoise(c, 0.001)
+	dec, _ := vegapunk.NewVegapunk(model, vegapunk.VegapunkOptions{MaxIters: 3})
+
+	// A single measurement error on check 7.
+	err := vegapunkVecWithBit(model.NumMech(), 4*c.N+7)
+	syndrome := model.Syndrome(err)
+	est, _ := dec.Decode(syndrome)
+	fmt.Println("syndrome satisfied:", model.CheckMatrix().MulVec(est).Equal(syndrome))
+	fmt.Println("observables preserved:", model.Observables(est).Equal(model.Observables(err)))
+	// Output:
+	// syndrome satisfied: true
+	// observables preserved: true
+}
+
+func vegapunkVecWithBit(n, i int) vegapunk.Vec {
+	v := vegapunk.NewVec(n)
+	v.Set(i, true)
+	return v
+}
+
+// ExampleDecouple demonstrates the offline stage on a hypergraph product
+// code, where the paper's analytic block structure (K = t) is recovered.
+func ExampleDecouple() {
+	c, _ := vegapunk.HPCode(0) // [[162,2,4]]
+	model := vegapunk.PhenomenologicalNoise(c, 0.001, 0.001)
+	art, _ := vegapunk.Decouple(model.CheckMatrix(), vegapunk.DecoupleOptions{HintKs: []int{9}})
+	fmt.Printf("K=%d blocks of [%d,%d], A has %d columns\n", art.K, art.MD, art.ND, art.NA)
+	fmt.Println("valid:", art.Validate(model.CheckMatrix()) == nil)
+	// Output:
+	// K=9 blocks of [9,18], A has 81 columns
+	// valid: true
+}
+
+// ExampleFitThreshold fits the paper's Eq. 17 to synthetic data.
+func ExampleFitThreshold() {
+	ps := []float64{5e-4, 1e-3, 2e-3, 5e-3}
+	pls := []float64{2.5e-5, 1e-4, 4e-4, 2.5e-3} // slope 2 through pt = 0.01
+	fit, _ := vegapunk.FitThreshold(ps, pls)
+	fmt.Printf("threshold %.3f%%, slope %.1f\n", 100*fit.Pt, fit.K)
+	// Output:
+	// threshold 1.000%, slope 2.0
+}

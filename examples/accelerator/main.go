@@ -1,0 +1,52 @@
+// accelerator drives the Vegapunk hardware cycle model: per-unit
+// latency breakdowns for every benchmark code (the Table 2 FPGA column
+// and Table 4 utilization), next to the BP-FPGA and GPU reference
+// models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vegapunk"
+	"vegapunk/internal/exp"
+)
+
+func main() {
+	params := vegapunk.DefaultAccelerator()
+	ws := exp.NewWorkspace()
+
+	fmt.Println("Vegapunk accelerator model @ 250 MHz (worst case, M=3, inner=3)")
+	fmt.Printf("%-18s %8s %10s %10s | %8s %8s\n",
+		"code", "cycles", "latency", "GPU model", "FFs", "LUTs")
+	for _, b := range exp.Benchmarks() {
+		dcp, err := ws.Decoupling(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := ws.Model(b, 0.005)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := params.VegapunkLatency(dcp, 3, 3)
+		u := params.VegapunkUtilization(dcp)
+		fmt.Printf("%-18s %8d %10v %10v | %7d %8d\n",
+			b.Name, rep.Cycles, rep.Latency, params.GPULatency(model.NumMech()), u.FFs, u.LUTs)
+	}
+
+	// Per-unit breakdown for the largest BB code.
+	big := exp.Benchmarks()[5] // BB [[784,24,24]]
+	dcp, err := ws.Decoupling(big)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := params.VegapunkLatency(dcp, 3, 3)
+	fmt.Printf("\npipeline breakdown for %s (cycles):\n", big.Name)
+	for _, unit := range []string{"transform", "outer-per-iter", "outer-total", "permute"} {
+		fmt.Printf("  %-15s %6d\n", unit, rep.Breakdown[unit])
+	}
+	fmt.Printf("\nheadline check: worst-case latency %v %s 1µs (paper: 840ns for this code)\n",
+		rep.Latency, map[bool]string{true: "<", false: ">="}[rep.Latency.Nanoseconds() < 1000])
+	fmt.Printf("U50 capacity at 100%% LUTs: ~%d mechanism columns (paper: ~12600)\n",
+		params.MaxSupportedColumns(3))
+}

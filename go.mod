@@ -1,0 +1,3 @@
+module vegapunk
+
+go 1.22

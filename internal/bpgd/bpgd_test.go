@@ -1,0 +1,94 @@
+package bpgd
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+func TestBPGDZeroSyndrome(t *testing.T) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	d := New(model.Mech, model.LLRs(), Config{MaxRounds: 10, ItersPerRound: 20})
+	res := d.Decode(gf2.NewVec(model.NumDet))
+	if !res.Converged || !res.Error.IsZero() {
+		t.Error("BPGD failed on zero syndrome")
+	}
+	if res.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", res.Rounds)
+	}
+}
+
+func TestBPGDSatisfiesSyndrome(t *testing.T) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.02)
+	d := New(model.Mech, model.LLRs(), Config{MaxRounds: 40, ItersPerRound: 30})
+	rng := rand.New(rand.NewPCG(5, 5))
+	h := model.CheckMatrix()
+	converged := 0
+	for trial := 0; trial < 25; trial++ {
+		e := model.Sample(rng)
+		s := model.Syndrome(e)
+		res := d.Decode(s)
+		if res.Converged {
+			converged++
+			if !h.MulVec(res.Error).Equal(s) {
+				t.Fatal("converged BPGD output violates syndrome")
+			}
+		}
+		if res.TotalIters < res.Rounds {
+			t.Fatal("iteration accounting broken")
+		}
+	}
+	if converged < 20 {
+		t.Errorf("BPGD converged only %d/25 times at p=2%%", converged)
+	}
+}
+
+func TestBPGDDecimationBreaksStalls(t *testing.T) {
+	// Force tiny per-round iteration budgets so plain BP fails, and
+	// verify decimation still reaches convergence on some trials with
+	// multiple rounds used.
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.05)
+	d := New(model.Mech, model.LLRs(), Config{MaxRounds: 60, ItersPerRound: 4})
+	rng := rand.New(rand.NewPCG(6, 6))
+	multiRound := 0
+	for trial := 0; trial < 25; trial++ {
+		e := model.Sample(rng)
+		res := d.Decode(model.Syndrome(e))
+		if res.Converged && res.Rounds > 1 {
+			multiRound++
+		}
+	}
+	if multiRound == 0 {
+		t.Error("decimation never contributed a convergence")
+	}
+}
+
+func TestBPGDDefaults(t *testing.T) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	d := New(model.Mech, model.LLRs(), Config{})
+	if d.cfg.MaxRounds != model.NumMech() {
+		t.Errorf("default MaxRounds = %d, want n", d.cfg.MaxRounds)
+	}
+	if d.cfg.ItersPerRound != 100 {
+		t.Errorf("default ItersPerRound = %d, want 100", d.cfg.ItersPerRound)
+	}
+}

@@ -1,0 +1,134 @@
+// Package circuit builds syndrome-extraction circuits for CSS codes and
+// derives detector error models by exhaustive fault propagation — a
+// principled (if smaller-scale) replacement for the Stim sampler the
+// paper uses.
+//
+// For X-error decoding, each Z-type check owns an ancilla qubit that is
+// reset, receives CNOTs from its data-qubit support in a scheduled
+// order, and is measured. Every fault location in that circuit —
+// pre-round data noise, per-CNOT depolarizing on data and ancilla,
+// measurement and reset flips — is propagated to its detector signature
+// (in the syndrome-difference convention, where signatures straddle up
+// to two rounds) and its logical-observable signature. Identical
+// signatures are merged with the exact XOR-convolution of their
+// probabilities.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"vegapunk/internal/gf2"
+)
+
+// Circuit is one round of syndrome extraction for one check matrix.
+type Circuit struct {
+	// N data qubits, M parity (ancilla) qubits.
+	N, M int
+	// Schedule[c] lists check c's data-qubit CNOT partners in time
+	// order; TimeOf[c][i] is the global time step of that CNOT.
+	Schedule [][]int
+	TimeOf   [][]int
+	// Depth is the number of CNOT time steps.
+	Depth int
+}
+
+// Extraction builds a CNOT schedule for the check matrix via greedy
+// edge coloring of the Tanner graph: at each time step, every data
+// qubit and every ancilla participate in at most one CNOT.
+func Extraction(h *gf2.Dense) (*Circuit, error) {
+	m, n := h.Rows(), h.Cols()
+	c := &Circuit{
+		N:        n,
+		M:        m,
+		Schedule: make([][]int, m),
+		TimeOf:   make([][]int, m),
+	}
+	// Edges to color.
+	type edge struct{ chk, q int }
+	var edges []edge
+	for i := 0; i < m; i++ {
+		for _, q := range h.Row(i).Ones() {
+			edges = append(edges, edge{i, q})
+		}
+	}
+	// Greedy coloring: assign the smallest time step where neither
+	// endpoint is busy.
+	busyQ := map[[2]int]bool{} // (time, data qubit)
+	busyC := map[[2]int]bool{} // (time, check)
+	colorOf := make([]int, len(edges))
+	for ei, e := range edges {
+		t := 0
+		for busyQ[[2]int{t, e.q}] || busyC[[2]int{t, e.chk}] {
+			t++
+			if t > n+m {
+				return nil, fmt.Errorf("circuit: coloring runaway at edge %d", ei)
+			}
+		}
+		busyQ[[2]int{t, e.q}] = true
+		busyC[[2]int{t, e.chk}] = true
+		colorOf[ei] = t
+		if t+1 > c.Depth {
+			c.Depth = t + 1
+		}
+	}
+	// Assemble per-check schedules in time order.
+	for ei, e := range edges {
+		c.Schedule[e.chk] = append(c.Schedule[e.chk], e.q)
+		c.TimeOf[e.chk] = append(c.TimeOf[e.chk], colorOf[ei])
+	}
+	for i := 0; i < m; i++ {
+		idx := make([]int, len(c.Schedule[i]))
+		for k := range idx {
+			idx[k] = k
+		}
+		sort.Slice(idx, func(a, b int) bool { return c.TimeOf[i][idx[a]] < c.TimeOf[i][idx[b]] })
+		sched := make([]int, len(idx))
+		times := make([]int, len(idx))
+		for k, j := range idx {
+			sched[k] = c.Schedule[i][j]
+			times[k] = c.TimeOf[i][j]
+		}
+		c.Schedule[i] = sched
+		c.TimeOf[i] = times
+	}
+	return c, nil
+}
+
+// Validate checks the schedule covers the check matrix exactly and no
+// qubit is used twice in a time step.
+func (c *Circuit) Validate(h *gf2.Dense) error {
+	if h.Rows() != c.M || h.Cols() != c.N {
+		return fmt.Errorf("circuit: shape mismatch")
+	}
+	busyQ := map[[2]int]bool{}
+	for i := 0; i < c.M; i++ {
+		want := h.Row(i).Ones()
+		got := append([]int(nil), c.Schedule[i]...)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			return fmt.Errorf("circuit: check %d has %d CNOTs, support %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				return fmt.Errorf("circuit: check %d schedule does not match support", i)
+			}
+		}
+		seen := map[int]bool{}
+		for k, q := range c.Schedule[i] {
+			t := c.TimeOf[i][k]
+			if k > 0 && c.TimeOf[i][k-1] >= t {
+				return fmt.Errorf("circuit: check %d schedule not time-ordered", i)
+			}
+			if busyQ[[2]int{t, q}] {
+				return fmt.Errorf("circuit: data qubit %d used twice at time %d", q, t)
+			}
+			busyQ[[2]int{t, q}] = true
+			if seen[q] {
+				return fmt.Errorf("circuit: duplicate CNOT for check %d qubit %d", i, q)
+			}
+			seen[q] = true
+		}
+	}
+	return nil
+}

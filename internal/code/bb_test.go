@@ -1,0 +1,128 @@
+package code
+
+import (
+	"strings"
+	"testing"
+
+	"vegapunk/internal/gf2"
+)
+
+// wantBB maps registry names to expected (n, k).
+var wantBB = []struct {
+	name string
+	n, k int
+}{
+	{"BB [[72,12,6]]", 72, 12},
+	{"BB [[90,8,10]]", 90, 8},
+	{"BB [[108,8,10]]", 108, 8},
+	{"BB [[144,12,12]]", 144, 12},
+	{"BB [[288,12,18]]", 288, 12},
+	{"BB [[784,24,24]]", 784, 24},
+}
+
+func TestBBRegistryParameters(t *testing.T) {
+	if len(BBRegistry) != len(wantBB) {
+		t.Fatalf("registry has %d codes, want %d", len(BBRegistry), len(wantBB))
+	}
+	for i, w := range wantBB {
+		if testing.Short() && w.n > 300 {
+			continue
+		}
+		c, err := NewBBByIndex(i)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		if c.N != w.n || c.K != w.k {
+			t.Errorf("%s: got [[%d,%d]], want [[%d,%d]]", w.name, c.N, c.K, w.n, w.k)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", w.name, err)
+		}
+	}
+}
+
+func TestBBCheckMatrixShape(t *testing.T) {
+	c, err := NewBBByIndex(0) // [[72,12,6]]
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HX is (l·m)×(2·l·m) = 36×72; the paper's Table 2 "[36, 360]" shape
+	// comes from the circuit-level error mechanism matrix, not HX itself.
+	if c.HX.Rows() != 36 || c.HX.Cols() != 72 {
+		t.Errorf("HX shape %dx%d, want 36x72", c.HX.Rows(), c.HX.Cols())
+	}
+	// Stabilizer weight 6 (three terms per polynomial, two halves).
+	for i := 0; i < c.HX.Rows(); i++ {
+		if w := c.HX.RowWeight(i); w != 6 {
+			t.Fatalf("HX row %d weight %d, want 6", i, w)
+		}
+	}
+	// Column sparsity 3 (each qubit in 3 X checks).
+	if got := c.HX.MaxColWeight(); got != 3 {
+		t.Errorf("HX max column weight %d, want 3", got)
+	}
+}
+
+func TestBBLogicalsCommute(t *testing.T) {
+	c, err := NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz := c.LogicalZ()
+	if lz.Rows() != c.K {
+		t.Fatalf("expected %d logical Z ops, got %d", c.K, lz.Rows())
+	}
+	if !c.HX.Mul(lz.Transpose()).IsZero() {
+		t.Error("logical Z fails to commute with HX")
+	}
+	lx := c.LogicalX()
+	if !c.HZ.Mul(lx.Transpose()).IsZero() {
+		t.Error("logical X fails to commute with HZ")
+	}
+	if got := lx.Mul(lz.Transpose()).Rank(); got != c.K {
+		t.Errorf("logical pairing rank %d, want %d", got, c.K)
+	}
+}
+
+func TestPoly2MatrixFastAgreesSlow(t *testing.T) {
+	p := Poly2{xp(3), yp(1), yp(2)}
+	slow := p.Matrix(6, 6)
+	fast := p.matrixFast(6, 6)
+	if !slow.Equal(fast) {
+		t.Error("matrixFast disagrees with reference Matrix")
+	}
+}
+
+func TestPoly2XYCommute(t *testing.T) {
+	// x·y == y·x as matrices.
+	l, m := 4, 5
+	x := gf2.Kron(CyclicShift(l), gf2.Eye(m))
+	y := gf2.Kron(gf2.Eye(l), CyclicShift(m))
+	if !x.Mul(y).Equal(y.Mul(x)) {
+		t.Error("x and y do not commute")
+	}
+}
+
+func TestNewBBByIndexRange(t *testing.T) {
+	if _, err := NewBBByIndex(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := NewBBByIndex(len(BBRegistry)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestBBNamesMatchParams(t *testing.T) {
+	for i, p := range BBRegistry {
+		if testing.Short() && p.L*p.M > 150 {
+			continue
+		}
+		c, err := NewBBByIndex(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(p.Name, c.Params()) {
+			t.Errorf("registry name %q does not contain computed params %s", p.Name, c.Params())
+		}
+	}
+}

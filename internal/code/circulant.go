@@ -1,0 +1,41 @@
+package code
+
+import "vegapunk/internal/gf2"
+
+// CyclicShift returns the L×L cyclic shift matrix S with S[i, (i+1) mod L] = 1.
+// Powers of S represent multiplication by x in F2[x]/(x^L - 1).
+func CyclicShift(L int) *gf2.Dense {
+	m := gf2.NewDense(L, L)
+	for i := 0; i < L; i++ {
+		m.Set(i, (i+1)%L, true)
+	}
+	return m
+}
+
+// Circulant returns the L×L circulant matrix Σ_p S^p for the given
+// exponents p (duplicates cancel over GF(2)). Row i has ones at columns
+// (i+p) mod L.
+func Circulant(L int, powers []int) *gf2.Dense {
+	m := gf2.NewDense(L, L)
+	for i := 0; i < L; i++ {
+		for _, p := range powers {
+			j := ((i+p)%L + L) % L
+			m.Flip(i, j)
+		}
+	}
+	return m
+}
+
+// RingCode returns the parity check matrix of the length-L ring (cyclic
+// repetition) code: the L×L circulant 1 + x. Its code dimension is 1 and
+// its transpose dimension is 1, making HP(ring, ring) a [[2L², 2, L]]
+// toric-like code.
+func RingCode(L int) *gf2.Dense {
+	return Circulant(L, []int{0, 1})
+}
+
+// CirculantDim returns the code dimension k = L - rank of an L×L
+// circulant, i.e. deg gcd(a(x), x^L - 1).
+func CirculantDim(L int, powers []int) int {
+	return L - Circulant(L, powers).Rank()
+}

@@ -1,0 +1,140 @@
+// Package code constructs the quantum LDPC codes evaluated in the
+// Vegapunk paper: CSS codes in general, IBM's Bivariate Bicycle (BB)
+// family, and Hypergraph Product (HP) codes built from classical ring and
+// circulant/bicycle codes.
+package code
+
+import (
+	"fmt"
+
+	"vegapunk/internal/gf2"
+)
+
+// CSS is a Calderbane-Shor-Steane quantum code defined by two parity
+// check matrices HX (X-type stabilizers) and HZ (Z-type stabilizers)
+// acting on N data qubits, satisfying HX·HZᵀ = 0.
+type CSS struct {
+	Name string
+	// N is the number of data qubits, K the number of logical qubits,
+	// D the (nominal) code distance. K is always computed from the
+	// ranks; D is taken from the literature since computing it exactly
+	// is NP-hard.
+	N, K, D int
+	HX, HZ  *gf2.Dense
+
+	lx, lz *gf2.Dense // cached logical operator bases
+}
+
+// NewCSS builds a CSS code from its check matrices, computing K and
+// validating commutation. The distance d is recorded as nominal metadata.
+func NewCSS(name string, hx, hz *gf2.Dense, d int) (*CSS, error) {
+	c := &CSS{Name: name, N: hx.Cols(), D: d, HX: hx, HZ: hz}
+	if hz.Cols() != c.N {
+		return nil, fmt.Errorf("code %s: HX has %d cols but HZ has %d", name, c.N, hz.Cols())
+	}
+	if !hx.Mul(hz.Transpose()).IsZero() {
+		return nil, fmt.Errorf("code %s: stabilizers do not commute (HX·HZᵀ ≠ 0)", name)
+	}
+	c.K = c.N - hx.Rank() - hz.Rank()
+	if c.K < 0 {
+		return nil, fmt.Errorf("code %s: negative logical count k=%d", name, c.K)
+	}
+	return c, nil
+}
+
+// Params returns the [[n, k, d]] notation string.
+func (c *CSS) Params() string {
+	return fmt.Sprintf("[[%d,%d,%d]]", c.N, c.K, c.D)
+}
+
+// Validate re-checks the CSS commutation condition and K consistency.
+func (c *CSS) Validate() error {
+	if !c.HX.Mul(c.HZ.Transpose()).IsZero() {
+		return fmt.Errorf("code %s: HX·HZᵀ ≠ 0", c.Name)
+	}
+	if k := c.N - c.HX.Rank() - c.HZ.Rank(); k != c.K {
+		return fmt.Errorf("code %s: recorded k=%d but rank computation gives %d", c.Name, c.K, k)
+	}
+	return nil
+}
+
+// LogicalZ returns a basis of K logical-Z operators as rows of a K×N
+// matrix: vectors in ker(HX) that are independent of rowspace(HZ).
+// A Pauli-X data error e causes a logical fault iff LogicalZ()·e ≠ 0.
+func (c *CSS) LogicalZ() *gf2.Dense {
+	if c.lz == nil {
+		c.lz = logicalOps(c.HX, c.HZ, c.K)
+	}
+	return c.lz
+}
+
+// LogicalX returns a basis of K logical-X operators (ker(HZ) modulo
+// rowspace(HX)).
+func (c *CSS) LogicalX() *gf2.Dense {
+	if c.lx == nil {
+		c.lx = logicalOps(c.HZ, c.HX, c.K)
+	}
+	return c.lx
+}
+
+// logicalOps returns k rows spanning ker(hKer) / rowspace(hMod).
+func logicalOps(hKer, hMod *gf2.Dense, k int) *gf2.Dense {
+	kernel := hKer.NullSpace() // rows span ker(hKer); contains rowspace(hMod)
+	// Select kernel vectors independent of rowspace(hMod) by extending a
+	// basis: start from the rows of hMod, add kernel rows that increase
+	// the rank.
+	stack := gf2.VStack(hMod, kernel)
+	base := hMod.Rank()
+	idx := stack.IndependentRows()
+	out := gf2.NewDense(k, hKer.Cols())
+	got := 0
+	for _, i := range idx {
+		if i < hMod.Rows() {
+			continue // part of the stabilizer row space
+		}
+		if got == k {
+			break
+		}
+		out.SetRow(got, stack.Row(i))
+		got++
+	}
+	if got != k {
+		panic(fmt.Sprintf("code: expected %d logical operators, found %d (base rank %d)", k, got, base))
+	}
+	return out
+}
+
+// CheckMatrix returns the matrix used to decode errors of the given
+// Pauli type: Z-type checks (HZ) detect X errors, X-type checks (HX)
+// detect Z errors. The paper decodes X errors with D_Z (§2.3).
+func (c *CSS) CheckMatrix(errorType Pauli) *gf2.Dense {
+	if errorType == PauliX {
+		return c.HZ
+	}
+	return c.HX
+}
+
+// Logicals returns the logical operators that anticommute with errors of
+// the given type (LogicalZ for X errors).
+func (c *CSS) Logicals(errorType Pauli) *gf2.Dense {
+	if errorType == PauliX {
+		return c.LogicalZ()
+	}
+	return c.LogicalX()
+}
+
+// Pauli labels an error species.
+type Pauli int
+
+// Pauli error species decoded independently in CSS codes.
+const (
+	PauliX Pauli = iota
+	PauliZ
+)
+
+func (p Pauli) String() string {
+	if p == PauliX {
+		return "X"
+	}
+	return "Z"
+}

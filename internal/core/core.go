@@ -1,0 +1,225 @@
+// Package core assembles the complete Vegapunk decoder — offline
+// SMT-style decoupling plus the online hierarchical algorithm — and wraps
+// every baseline decoder behind one interface so the simulation harness
+// and the accelerator models can treat them uniformly.
+package core
+
+import (
+	"fmt"
+
+	"vegapunk/internal/bp"
+	"vegapunk/internal/bpgd"
+	"vegapunk/internal/decouple"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/hier"
+	"vegapunk/internal/lsd"
+	"vegapunk/internal/osd"
+)
+
+// Stats carries per-decode execution metadata consumed by the
+// accelerator latency models.
+type Stats struct {
+	// BPIters is the message-passing iteration count (BP-family
+	// decoders).
+	BPIters int
+	// BPConverged reports whether plain BP sufficed.
+	BPConverged bool
+	// Hier is the hierarchical decode trace (Vegapunk only).
+	Hier hier.Trace
+	// BPGDRounds is the decimation round count (BPGD only).
+	BPGDRounds int
+	// LSDMaxCluster is the largest cluster size (BP+LSD only).
+	LSDMaxCluster int
+}
+
+// Decoder is the uniform syndrome-decoding interface.
+type Decoder interface {
+	// Name identifies the decoder in experiment output.
+	Name() string
+	// Decode maps a syndrome to an estimated mechanism vector.
+	Decode(syndrome gf2.Vec) (gf2.Vec, Stats)
+}
+
+// Factory builds independent decoder instances (one per worker
+// goroutine).
+type Factory func() Decoder
+
+// ---- Vegapunk ----
+
+// Vegapunk is the paper's decoder: offline decoupling + online
+// hierarchical decoding.
+type Vegapunk struct {
+	name   string
+	dec    *decouple.Decoupling
+	online *hier.Decoder
+}
+
+// BuildVegapunk runs the offline stage on the model's check matrix and
+// readies the online decoder. The decoupling is computed once; clone the
+// returned decoder for concurrent use via NewVegapunkFrom.
+func BuildVegapunk(model *dem.Model, dopts decouple.Options, cfg hier.Config) (*Vegapunk, error) {
+	D := model.CheckMatrix()
+	dec, err := decouple.Decouple(D, dopts)
+	if err != nil {
+		return nil, fmt.Errorf("vegapunk offline stage: %w", err)
+	}
+	if err := dec.Validate(D); err != nil {
+		return nil, fmt.Errorf("vegapunk offline validation: %w", err)
+	}
+	return NewVegapunkFrom(model, dec, cfg), nil
+}
+
+// NewVegapunkFrom builds the online decoder from a pre-computed (stored)
+// decoupling artifact — the deployment flow: decouple offline, load
+// online.
+func NewVegapunkFrom(model *dem.Model, dec *decouple.Decoupling, cfg hier.Config) *Vegapunk {
+	return &Vegapunk{
+		name:   "Vegapunk",
+		dec:    dec,
+		online: hier.New(dec, model.LLRs(), cfg),
+	}
+}
+
+// Name implements Decoder.
+func (v *Vegapunk) Name() string { return v.name }
+
+// Decode implements Decoder.
+func (v *Vegapunk) Decode(s gf2.Vec) (gf2.Vec, Stats) {
+	e, tr := v.online.Decode(s)
+	return e, Stats{Hier: tr}
+}
+
+// Decoupling exposes the offline artifact (for the accelerator model and
+// Table 2/3 reporting).
+func (v *Vegapunk) Decoupling() *decouple.Decoupling { return v.dec }
+
+// ---- BP ----
+
+type bpDecoder struct {
+	name string
+	d    *bp.Decoder
+}
+
+// NewBP wraps plain belief propagation (min-sum), the paper's FPGA
+// baseline. maxIters ≤ 0 uses the paper's default of n.
+func NewBP(model *dem.Model, maxIters int) Decoder {
+	name := "BP"
+	if maxIters > 0 {
+		name = fmt.Sprintf("BP(%d)", maxIters)
+	}
+	return &bpDecoder{
+		name: name,
+		d:    bp.New(model.Mech, model.LLRs(), bp.Config{MaxIters: maxIters}),
+	}
+}
+
+func (b *bpDecoder) Name() string { return b.name }
+
+func (b *bpDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
+	r := b.d.Decode(s)
+	return r.Error.Clone(), Stats{BPIters: r.Iters, BPConverged: r.Converged}
+}
+
+// ---- BP+OSD ----
+
+type bposdDecoder struct {
+	name string
+	d    *osd.BPOSD
+}
+
+// NewBPOSD wraps BP+OSD-CS(t), the accuracy baseline. order ≤ 0 uses the
+// paper's CS(7).
+func NewBPOSD(model *dem.Model, bpIters, order int) Decoder {
+	if order <= 0 {
+		order = 7
+	}
+	return &bposdDecoder{
+		name: fmt.Sprintf("BP+OSD-CS(%d)", order),
+		d: osd.NewBPOSD(model.Mech, model.LLRs(),
+			bp.Config{MaxIters: bpIters},
+			osd.Config{Method: osd.CombinationSweep, Order: order}),
+	}
+}
+
+func (b *bposdDecoder) Name() string { return b.name }
+
+func (b *bposdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
+	r := b.d.Decode(s)
+	return r.Error, Stats{BPIters: r.BPIters, BPConverged: r.BPConverged}
+}
+
+// ---- BP+LSD ----
+
+type lsdDecoder struct {
+	d *lsd.Decoder
+}
+
+// NewBPLSD wraps BP+LSD (30 BP iterations, order 0), per the paper's
+// baseline configuration.
+func NewBPLSD(model *dem.Model) Decoder {
+	return &lsdDecoder{d: lsd.New(model.Mech, model.LLRs(), bp.Config{MaxIters: 30})}
+}
+
+func (l *lsdDecoder) Name() string { return "BP+LSD" }
+
+func (l *lsdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
+	r := l.d.Decode(s)
+	return r.Error, Stats{BPIters: r.BPIters, BPConverged: r.BPConverged, LSDMaxCluster: r.MaxClusterChecks}
+}
+
+// ---- BPGD ----
+
+type bpgdDecoder struct {
+	d *bpgd.Decoder
+}
+
+// NewBPGD wraps BP guided decimation (100 BP iterations per round, up to
+// n rounds), per the paper's baseline configuration.
+func NewBPGD(model *dem.Model) Decoder {
+	return &bpgdDecoder{d: bpgd.New(model.Mech, model.LLRs(), bpgd.Config{})}
+}
+
+func (b *bpgdDecoder) Name() string { return "BPGD" }
+
+func (b *bpgdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
+	r := b.d.Decode(s)
+	return r.Error, Stats{BPIters: r.TotalIters, BPConverged: r.Converged, BPGDRounds: r.Rounds}
+}
+
+// ---- Greedy (Vegapunk without decoupling, Figure 12 ablation) ----
+
+type greedyDecoder struct {
+	d *hier.GreedyDecoder
+}
+
+// NewGreedyNoDecouple wraps the ablation baseline: Vegapunk's greedy
+// search run directly on the undecoupled check matrix.
+func NewGreedyNoDecouple(model *dem.Model, maxFlips int) Decoder {
+	return &greedyDecoder{d: hier.NewGreedy(model.Mech, model.LLRs(), maxFlips)}
+}
+
+// NewGreedyNoDecoupleStrict is the constraint-faithful ablation variant:
+// like Algorithm 1 with zero diagonal blocks, a syndrome that cannot be
+// fully explained within the flip budget is a failed decode (zero
+// correction returned).
+func NewGreedyNoDecoupleStrict(model *dem.Model, maxFlips int) Decoder {
+	g := hier.NewGreedy(model.Mech, model.LLRs(), maxFlips)
+	g.Strict = true
+	return &greedyDecoder{d: g}
+}
+
+func (g *greedyDecoder) Name() string { return "Vegapunk-NoDecouple" }
+
+func (g *greedyDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
+	return g.d.Decode(s), Stats{}
+}
+
+// NewBPGDWith wraps BPGD with explicit round/iteration budgets (the
+// experiment harness scales these with its quality setting).
+func NewBPGDWith(model *dem.Model, maxRounds, itersPerRound int) Decoder {
+	return &bpgdDecoder{d: bpgd.New(model.Mech, model.LLRs(), bpgd.Config{
+		MaxRounds:     maxRounds,
+		ItersPerRound: itersPerRound,
+	})}
+}

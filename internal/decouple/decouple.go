@@ -1,0 +1,149 @@
+// Package decouple implements Vegapunk's offline check-matrix decoupling
+// (paper §4.2): find a full-rank row transformation T and a column
+// permutation (given by ColOrder) such that
+//
+//	D' = T · D · P = ( diag(D_1, …, D_K) | A ),  D_i = ( I | B_i )
+//
+// with every D_i the same shape m_D × n_D and A as sparse as possible
+// (the paper's Eq. 11 objective).
+//
+// The paper hands this search to an SMT solver. Here the same
+// formulation is solved by a two-stage engine (DESIGN.md §1): a row
+// partition search (greedy clustering with refinement, an analytic path
+// for hypergraph-product structure, and an exact SAT mode for small
+// instances via internal/smt), followed by algebraic synthesis of T as a
+// block-local Gaussian inverse — which preserves the cross-group support
+// of every column, so the resulting decoupling is exact and validated
+// bit-for-bit against T·D·P.
+package decouple
+
+import (
+	"errors"
+	"fmt"
+
+	"vegapunk/internal/gf2"
+)
+
+// Decoupling is the offline artifact consumed by the online hierarchical
+// decoder. All fields describe the exact factorization D' = T·D·P.
+type Decoupling struct {
+	// M, N are the original check matrix dimensions.
+	M, N int
+	// K is the number of diagonal blocks; MD × ND their common shape;
+	// NA the number of columns of the off-diagonal sparse matrix A.
+	K, MD, ND, NA int
+	// T is the m×m full-rank transformation.
+	T *gf2.Dense
+	// ColOrder defines the permutation: column j of D' is column
+	// ColOrder[j] of T·D. The first K·ND entries belong to the blocks
+	// (identity columns first within each block), the last NA to A.
+	ColOrder []int
+	// Blocks hold the B part of each D_i = (I | B): MD × (ND-MD).
+	Blocks []*gf2.SparseCols
+	// A is the off-diagonal sparse matrix (M × NA).
+	A *gf2.SparseCols
+}
+
+// Sparsity returns the maximum column weight of A and of the block B
+// parts — the two "Spars." columns of the paper's Table 2.
+func (d *Decoupling) Sparsity() (aSpars, blockSpars int) {
+	aSpars = d.A.MaxColWeight()
+	blockSpars = 1 // identity columns
+	for _, b := range d.Blocks {
+		if w := b.MaxColWeight(); w > blockSpars {
+			blockSpars = w
+		}
+	}
+	return aSpars, blockSpars
+}
+
+// NNZ returns the total number of nonzeros of D' (the Eq. 11 objective
+// value achieved).
+func (d *Decoupling) NNZ() int {
+	t := d.K * d.MD // identities
+	for _, b := range d.Blocks {
+		t += b.NNZ()
+	}
+	return t + d.A.NNZ()
+}
+
+// Assemble reconstructs the dense D' from the structured parts.
+func (d *Decoupling) Assemble() *gf2.Dense {
+	out := gf2.NewDense(d.M, d.K*d.ND+d.NA)
+	for g := 0; g < d.K; g++ {
+		r0 := g * d.MD
+		c0 := g * d.ND
+		for t := 0; t < d.MD; t++ {
+			out.Set(r0+t, c0+t, true)
+		}
+		b := d.Blocks[g]
+		for j := 0; j < b.Cols(); j++ {
+			for _, i := range b.ColSupport(j) {
+				out.Set(r0+i, c0+d.MD+j, true)
+			}
+		}
+	}
+	aOff := d.K * d.ND
+	for j := 0; j < d.NA; j++ {
+		for _, i := range d.A.ColSupport(j) {
+			out.Set(i, aOff+j, true)
+		}
+	}
+	return out
+}
+
+// Validate proves the factorization is exact against the original check
+// matrix: T full rank, ColOrder a permutation, and T·D·P equal to the
+// assembled structured form entry by entry.
+func (d *Decoupling) Validate(D *gf2.Dense) error {
+	if D.Rows() != d.M || D.Cols() != d.N {
+		return fmt.Errorf("decouple: original matrix is %dx%d, artifact says %dx%d",
+			D.Rows(), D.Cols(), d.M, d.N)
+	}
+	if d.K*d.ND+d.NA != d.N {
+		return fmt.Errorf("decouple: column budget K·ND+NA = %d ≠ N = %d", d.K*d.ND+d.NA, d.N)
+	}
+	if d.K*d.MD != d.M {
+		return fmt.Errorf("decouple: row budget K·MD = %d ≠ M = %d", d.K*d.MD, d.M)
+	}
+	if err := gf2.Perm(d.ColOrder).Validate(); err != nil {
+		return fmt.Errorf("decouple: ColOrder: %w", err)
+	}
+	if _, err := d.T.Inverse(); err != nil {
+		return errors.New("decouple: T is singular")
+	}
+	td := d.T.Mul(D)
+	dp := td.PermuteCols(gf2.Perm(d.ColOrder)) // column j = (T·D) col ColOrder[j]
+	if !dp.Equal(d.Assemble()) {
+		return errors.New("decouple: T·D·P does not match assembled block form")
+	}
+	return nil
+}
+
+// TransformSyndrome returns s' = T·s.
+func (d *Decoupling) TransformSyndrome(s gf2.Vec) gf2.Vec {
+	return d.T.MulVec(s)
+}
+
+// PermuteWeights maps per-column objective weights of D into D' column
+// order: w'[j] = w[ColOrder[j]].
+func (d *Decoupling) PermuteWeights(w []float64) []float64 {
+	return gf2.Perm(d.ColOrder).ApplyToSlice(w)
+}
+
+// RecoverError maps an error in D' column order back to original column
+// order (the paper's final e = P·e').
+func (d *Decoupling) RecoverError(ePrime gf2.Vec) gf2.Vec {
+	out := gf2.NewVec(d.N)
+	for j := 0; j < d.N; j++ {
+		if ePrime.Get(j) {
+			out.Set(d.ColOrder[j], true)
+		}
+	}
+	return out
+}
+
+// BlockSyndrome slices the transformed left-part syndrome for block g.
+func (d *Decoupling) BlockSyndrome(sl gf2.Vec, g int) gf2.Vec {
+	return sl.Slice(g*d.MD, (g+1)*d.MD)
+}

@@ -1,0 +1,324 @@
+package decouple
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"vegapunk/internal/gf2"
+)
+
+// Options tunes the decoupling search.
+type Options struct {
+	// ForceK pins the number of blocks (0 = the paper's divisor rule:
+	// try the largest feasible K first).
+	ForceK int
+	// HintKs lists structure-derived block counts to try before the
+	// generic search (the paper's §4.2 analytic rules: K = t for
+	// hypergraph products, K near min(l, m) for BB codes). The first
+	// hint that yields a valid decoupling wins.
+	HintKs []int
+	// RefinePasses is the number of local-search sweeps over row swaps
+	// (default 2).
+	RefinePasses int
+	// UseSAT enables the exact SAT partition search for small matrices.
+	UseSAT bool
+	// SATMaxCells caps m·K for the SAT mode (default 512).
+	SATMaxCells int
+	// SATConflictBudget bounds the SAT search (default 50000 conflicts).
+	SATConflictBudget int
+	// Seed drives the randomized refinement.
+	Seed uint64
+	// MinCoverage is the fraction of columns the diagonal blocks must
+	// absorb for a K to count as successful (default 0.5); the search
+	// accepts the largest successful K, per the paper's selection rule.
+	MinCoverage float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 2
+	}
+	if o.SATMaxCells == 0 {
+		o.SATMaxCells = 512
+	}
+	if o.SATConflictBudget == 0 {
+		o.SATConflictBudget = 50000
+	}
+	return o
+}
+
+// Decouple searches for the best decoupling of D following the paper's
+// procedure: iterate K from the largest feasible candidate downward and
+// return the first K for which a valid block structure exists, choosing
+// among partition strategies by the Eq. 11 sparsity objective.
+func Decouple(D *gf2.Dense, opts Options) (*Decoupling, error) {
+	opts = opts.withDefaults()
+	m := D.Rows()
+	S := D.MaxColWeight()
+	var ks []int
+	if opts.ForceK > 0 {
+		ks = []int{opts.ForceK}
+	} else {
+		ks = candidateKs(m, S)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("decouple: no feasible K for m=%d, S=%d", m, S)
+	}
+	rows := gf2.SparseRowsFromDense(D)
+	minCover := opts.MinCoverage
+	if minCover <= 0 {
+		minCover = 0.5
+	}
+	// bestForK runs the partition strategies for one K and returns the
+	// best candidate (max coverage, then min nnz).
+	bestForK := func(K int) *Decoupling {
+		var cands []*Decoupling
+		for _, groups := range candidatePartitions(D, rows, K, opts) {
+			if dec, err := synthesize(D, groups); err == nil {
+				cands = append(cands, dec)
+			}
+		}
+		// General-T search: direct-sum subspace decomposition (the
+		// paper's arbitrary full-rank T, beyond row partitions).
+		if dec, err := subspaceDecouple(D, K); err == nil {
+			if err := dec.Validate(D); err == nil {
+				cands = append(cands, dec)
+			}
+		}
+		var best *Decoupling
+		for _, dec := range cands {
+			if best == nil ||
+				dec.K*dec.ND > best.K*best.ND ||
+				(dec.K*dec.ND == best.K*best.ND && dec.NNZ() < best.NNZ()) {
+				best = dec
+			}
+		}
+		return best
+	}
+	covered := func(d *Decoupling) float64 { return float64(d.K*d.ND) / float64(d.N) }
+
+	// Structure hints first, in the caller's preference order.
+	for _, K := range opts.HintKs {
+		if K < 2 || m%K != 0 {
+			continue
+		}
+		if dec := bestForK(K); dec != nil && covered(dec) >= minCover {
+			return dec, nil
+		}
+	}
+	// The paper's rule: largest K first, accepting the first success.
+	// "Success" here means the blocks absorb at least MinCoverage of the
+	// columns — small blocks with decent coverage are exactly what keeps
+	// GreedyGuess effective and the hardware parallel. If no K clears
+	// the bar, fall back to the best coverage seen.
+	var fallback *Decoupling
+	for _, K := range ks {
+		dec := bestForK(K)
+		if dec == nil {
+			continue
+		}
+		if covered(dec) >= minCover {
+			return dec, nil
+		}
+		if fallback == nil || covered(dec) > covered(fallback) {
+			fallback = dec
+		}
+	}
+	if fallback == nil {
+		return nil, fmt.Errorf("decouple: no valid block structure found for any K (m=%d, S=%d)", m, S)
+	}
+	return fallback, nil
+}
+
+// candidatePartitions generates row partitions to try for a given K:
+// contiguous chunks, strided rows, greedy affinity clustering, and
+// refined variants of each; plus the SAT-exact partition when enabled.
+func candidatePartitions(D *gf2.Dense, rows *gf2.SparseRows, K int, opts Options) [][][]int {
+	m := D.Rows()
+	mD := m / K
+	var out [][][]int
+
+	contiguous := make([][]int, K)
+	for g := 0; g < K; g++ {
+		for t := 0; t < mD; t++ {
+			contiguous[g] = append(contiguous[g], g*mD+t)
+		}
+	}
+	strided := make([][]int, K)
+	for r := 0; r < m; r++ {
+		strided[r%K] = append(strided[r%K], r)
+	}
+	greedy := affinityPartition(D, K)
+
+	for _, p := range [][][]int{contiguous, strided, greedy} {
+		out = append(out, p)
+		refined := refinePartition(D, clonePartition(p), opts.RefinePasses, opts.Seed)
+		out = append(out, refined)
+	}
+	if opts.UseSAT && m*K <= opts.SATMaxCells {
+		if p, err := satPartition(D, K, opts.SATConflictBudget); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func clonePartition(p [][]int) [][]int {
+	out := make([][]int, len(p))
+	for i, g := range p {
+		out[i] = append([]int(nil), g...)
+	}
+	return out
+}
+
+// affinityPartition grows K balanced groups greedily by row affinity
+// (number of columns two rows share).
+func affinityPartition(D *gf2.Dense, K int) [][]int {
+	m := D.Rows()
+	mD := m / K
+	// Affinity matrix via column supports.
+	aff := make([][]int, m)
+	for i := range aff {
+		aff[i] = make([]int, m)
+	}
+	for j := 0; j < D.Cols(); j++ {
+		sup := D.Col(j).Ones()
+		for a := 0; a < len(sup); a++ {
+			for b := a + 1; b < len(sup); b++ {
+				aff[sup[a]][sup[b]]++
+				aff[sup[b]][sup[a]]++
+			}
+		}
+	}
+	assigned := make([]bool, m)
+	groups := make([][]int, K)
+	for g := 0; g < K; g++ {
+		// Seed: unassigned row with the largest remaining affinity mass.
+		seed, bestMass := -1, -1
+		for r := 0; r < m; r++ {
+			if assigned[r] {
+				continue
+			}
+			mass := 0
+			for s := 0; s < m; s++ {
+				if !assigned[s] {
+					mass += aff[r][s]
+				}
+			}
+			if mass > bestMass {
+				seed, bestMass = r, mass
+			}
+		}
+		groups[g] = []int{seed}
+		assigned[seed] = true
+		// Grow by the strongest connection to the group.
+		gain := make([]int, m)
+		for s := 0; s < m; s++ {
+			gain[s] = aff[seed][s]
+		}
+		for len(groups[g]) < mD {
+			next, bestGain := -1, -1
+			for s := 0; s < m; s++ {
+				if assigned[s] {
+					continue
+				}
+				if gain[s] > bestGain {
+					next, bestGain = s, gain[s]
+				}
+			}
+			groups[g] = append(groups[g], next)
+			assigned[next] = true
+			for s := 0; s < m; s++ {
+				gain[s] += aff[next][s]
+			}
+		}
+		sort.Ints(groups[g])
+	}
+	return groups
+}
+
+// refinePartition performs randomized local search: swap rows across
+// groups when the number of interior columns increases.
+func refinePartition(D *gf2.Dense, groups [][]int, passes int, seed uint64) [][]int {
+	m := D.Rows()
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	groupOf := make([]int, m)
+	for g, rs := range groups {
+		for _, r := range rs {
+			groupOf[r] = g
+		}
+	}
+	// Column supports and a per-column "all in one group?" evaluation.
+	supports := make([][]int, D.Cols())
+	colsOfRow := make([][]int, m)
+	for j := 0; j < D.Cols(); j++ {
+		supports[j] = D.Col(j).Ones()
+		for _, r := range supports[j] {
+			colsOfRow[r] = append(colsOfRow[r], j)
+		}
+	}
+	interiorCount := func(cols map[int]bool) int {
+		c := 0
+		for j := range cols {
+			sup := supports[j]
+			if len(sup) == 0 {
+				continue
+			}
+			g := groupOf[sup[0]]
+			ok := true
+			for _, r := range sup[1:] {
+				if groupOf[r] != g {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c++
+			}
+		}
+		return c
+	}
+	affected := func(r, s int) map[int]bool {
+		set := map[int]bool{}
+		for _, j := range colsOfRow[r] {
+			set[j] = true
+		}
+		for _, j := range colsOfRow[s] {
+			set[j] = true
+		}
+		return set
+	}
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		order := rng.Perm(m)
+		for _, r := range order {
+			for trial := 0; trial < 8; trial++ {
+				s := rng.IntN(m)
+				if groupOf[r] == groupOf[s] {
+					continue
+				}
+				cols := affected(r, s)
+				before := interiorCount(cols)
+				groupOf[r], groupOf[s] = groupOf[s], groupOf[r]
+				after := interiorCount(cols)
+				if after > before {
+					improved = true
+				} else {
+					groupOf[r], groupOf[s] = groupOf[s], groupOf[r]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := make([][]int, len(groups))
+	for r := 0; r < m; r++ {
+		out[groupOf[r]] = append(out[groupOf[r]], r)
+	}
+	for g := range out {
+		sort.Ints(out[g])
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package decouple
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"vegapunk/internal/gf2"
+)
+
+// randomDEMLike builds a random sparse matrix that always contains an
+// identity block (like every measurement-error model), so decoupling is
+// always feasible.
+func randomDEMLike(rng *rand.Rand, m, extraCols, maxColW int) *gf2.Dense {
+	d := gf2.NewDense(m, m+extraCols)
+	for i := 0; i < m; i++ {
+		d.Set(i, i, true) // identity part
+	}
+	for j := m; j < m+extraCols; j++ {
+		w := 1 + rng.IntN(maxColW)
+		for t := 0; t < w; t++ {
+			d.Set(rng.IntN(m), j, true)
+		}
+	}
+	return d
+}
+
+// TestDecoupleFactorizationProperty: for random feasible matrices, the
+// decoupling validates and the syndrome relation D'·e' = T·D·e holds
+// for random errors.
+func TestDecoupleFactorizationProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	for trial := 0; trial < 25; trial++ {
+		m := 8 * (1 + rng.IntN(3)) // 8..24 rows
+		D := randomDEMLike(rng, m, 2+rng.IntN(30), m/4)
+		dec, err := Decouple(D, Options{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := dec.Validate(D); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dPrime := dec.Assemble()
+		for k := 0; k < 5; k++ {
+			e := gf2.NewVec(D.Cols())
+			for j := 0; j < D.Cols(); j++ {
+				if rng.IntN(4) == 0 {
+					e.Set(j, true)
+				}
+			}
+			ePrime := gf2.NewVec(D.Cols())
+			for j, src := range dec.ColOrder {
+				if e.Get(src) {
+					ePrime.Set(j, true)
+				}
+			}
+			lhs := dPrime.MulVec(ePrime)
+			rhs := dec.T.MulVec(D.MulVec(e))
+			if !lhs.Equal(rhs) {
+				t.Fatalf("trial %d: syndrome relation broken", trial)
+			}
+		}
+	}
+}
+
+// TestDecoupleBlockConstraintsProperty verifies the paper's structural
+// constraints (Eq. 8-10) hold on the assembled D' for random inputs.
+func TestDecoupleBlockConstraintsProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(79, 80))
+	for trial := 0; trial < 20; trial++ {
+		m := 8 * (1 + rng.IntN(3))
+		D := randomDEMLike(rng, m, 5+rng.IntN(25), m/4)
+		dec, err := Decouple(D, Options{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp := dec.Assemble()
+		// Eq. 8: m_D · K = m, K·n_D ≤ n.
+		if dec.MD*dec.K != dec.M || dec.K*dec.ND > dec.N {
+			t.Fatalf("Eq.8 violated: K=%d MD=%d ND=%d", dec.K, dec.MD, dec.ND)
+		}
+		for g := 0; g < dec.K; g++ {
+			r0, r1 := g*dec.MD, (g+1)*dec.MD
+			c0 := g * dec.ND
+			// Eq. 10: identity on the left of each block.
+			blk := dp.Submatrix(r0, r1, c0, c0+dec.MD)
+			if !blk.Equal(gf2.Eye(dec.MD)) {
+				t.Fatalf("Eq.10 violated in block %d", g)
+			}
+			// Eq. 9: zero outside the block rows for block columns.
+			for g2 := 0; g2 < dec.K; g2++ {
+				if g2 == g {
+					continue
+				}
+				if !dp.Submatrix(g2*dec.MD, (g2+1)*dec.MD, c0, c0+dec.ND).IsZero() {
+					t.Fatalf("Eq.9 violated: block %d columns leak into rows of %d", g, g2)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateKsProperty: every candidate divides m and respects the
+// sparsity bound.
+func TestCandidateKsProperty(t *testing.T) {
+	f := func(mRaw, sRaw uint8) bool {
+		m := int(mRaw%60) + 2
+		s := int(sRaw%8) + 1
+		for _, k := range candidateKs(m, s) {
+			if k < 2 || m%k != 0 || m/k < s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecoupleInfeasible: matrices without identity-extractable blocks
+// under any K must fail cleanly.
+func TestDecoupleInfeasible(t *testing.T) {
+	// Every column has full support: no column is interior to any
+	// proper row subset.
+	D := gf2.NewDense(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			D.Set(i, j, true)
+		}
+	}
+	if _, err := Decouple(D, Options{}); err == nil {
+		t.Error("expected failure for all-dense matrix")
+	}
+}

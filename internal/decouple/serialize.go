@@ -1,0 +1,88 @@
+package decouple
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vegapunk/internal/gf2"
+)
+
+// artifactJSON is the stable on-disk form of a Decoupling. Supports are
+// stored sparsely, matching the accelerator's compressed format.
+type artifactJSON struct {
+	Version  int       `json:"version"`
+	M        int       `json:"m"`
+	N        int       `json:"n"`
+	K        int       `json:"k"`
+	MD       int       `json:"md"`
+	ND       int       `json:"nd"`
+	NA       int       `json:"na"`
+	TRows    [][]int   `json:"t_rows"`
+	ColOrder []int     `json:"col_order"`
+	Blocks   [][][]int `json:"blocks"`
+	A        [][]int   `json:"a"`
+}
+
+// WriteTo serializes the decoupling as JSON.
+func (d *Decoupling) WriteTo(w io.Writer) (int64, error) {
+	art := artifactJSON{
+		Version: 1,
+		M:       d.M, N: d.N, K: d.K, MD: d.MD, ND: d.ND, NA: d.NA,
+		ColOrder: d.ColOrder,
+	}
+	for i := 0; i < d.T.Rows(); i++ {
+		art.TRows = append(art.TRows, d.T.Row(i).Ones())
+	}
+	for _, b := range d.Blocks {
+		cols := make([][]int, b.Cols())
+		for j := 0; j < b.Cols(); j++ {
+			cols[j] = b.ColSupport(j)
+		}
+		art.Blocks = append(art.Blocks, cols)
+	}
+	for j := 0; j < d.A.Cols(); j++ {
+		art.A = append(art.A, d.A.ColSupport(j))
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(art); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// Read deserializes a decoupling written by WriteTo.
+func Read(r io.Reader) (*Decoupling, error) {
+	var art artifactJSON
+	if err := json.NewDecoder(r).Decode(&art); err != nil {
+		return nil, fmt.Errorf("decouple: reading artifact: %w", err)
+	}
+	if art.Version != 1 {
+		return nil, fmt.Errorf("decouple: unsupported artifact version %d", art.Version)
+	}
+	d := &Decoupling{
+		M: art.M, N: art.N, K: art.K, MD: art.MD, ND: art.ND, NA: art.NA,
+		ColOrder: art.ColOrder,
+	}
+	d.T = gf2.NewDense(d.M, d.M)
+	for i, sup := range art.TRows {
+		for _, j := range sup {
+			d.T.Set(i, j, true)
+		}
+	}
+	if len(art.Blocks) != d.K {
+		return nil, fmt.Errorf("decouple: artifact has %d blocks, header says %d", len(art.Blocks), d.K)
+	}
+	for _, cols := range art.Blocks {
+		b := gf2.NewSparseCols(d.MD, len(cols))
+		for j, sup := range cols {
+			b.SetColSupport(j, sup)
+		}
+		d.Blocks = append(d.Blocks, b)
+	}
+	d.A = gf2.NewSparseCols(d.M, len(art.A))
+	for j, sup := range art.A {
+		d.A.SetColSupport(j, sup)
+	}
+	return d, nil
+}

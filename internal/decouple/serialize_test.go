@@ -1,0 +1,54 @@
+package decouple
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/dem"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	c, err := code.NewHPByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.Phenomenological(c, 0.001, 0.001)
+	D := model.CheckMatrix()
+	dec, err := Decouple(D, Options{HintKs: []int{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := dec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored artifact must validate against the original matrix
+	// bit for bit — the deployment flow (offline store, online load).
+	if err := back.Validate(D); err != nil {
+		t.Fatal(err)
+	}
+	if back.K != dec.K || back.MD != dec.MD || back.ND != dec.ND || back.NA != dec.NA {
+		t.Error("shape metadata changed through serialization")
+	}
+	if !back.Assemble().Equal(dec.Assemble()) {
+		t.Error("assembled matrices differ after round trip")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":1,"m":2,"n":2,"k":3,"md":1,"nd":1,"na":0,"blocks":[]}`)); err == nil {
+		t.Error("inconsistent block count accepted")
+	}
+}

@@ -1,0 +1,379 @@
+package decouple
+
+import (
+	"fmt"
+	"sort"
+
+	"vegapunk/internal/gf2"
+)
+
+// bitvec is a packed row-index set used by the subspace search.
+type bitvec []uint64
+
+func (v bitvec) get(i int) bool { return v[i/64]>>(uint(i)%64)&1 == 1 }
+
+func (v bitvec) isZero() bool {
+	for _, w := range v {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (v bitvec) clone() bitvec {
+	out := make(bitvec, len(v))
+	copy(out, v)
+	return out
+}
+
+func (v bitvec) xor(u bitvec) {
+	for i, w := range u {
+		v[i] ^= w
+	}
+}
+
+func (v bitvec) lead() int {
+	for wi, w := range v {
+		if w != 0 {
+			for b := 0; b < 64; b++ {
+				if w>>uint(b)&1 == 1 {
+					return wi*64 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// echelon is an incrementally-built reduced basis.
+type echelon struct {
+	vecs  []bitvec
+	leads []int
+}
+
+// residual reduces v against the basis and returns the remainder.
+func (e *echelon) residual(v bitvec) bitvec {
+	r := v.clone()
+	for i, b := range e.vecs {
+		if r.get(e.leads[i]) {
+			r.xor(b)
+		}
+	}
+	return r
+}
+
+// add inserts v if independent; reports whether it was added.
+func (e *echelon) add(v bitvec) bool {
+	r := e.residual(v)
+	lead := r.lead()
+	if lead < 0 {
+		return false
+	}
+	e.vecs = append(e.vecs, r)
+	e.leads = append(e.leads, lead)
+	return true
+}
+
+// contains reports whether v lies in the span.
+func (e *echelon) contains(v bitvec) bool { return e.residual(v).isZero() }
+
+func (e *echelon) dim() int { return len(e.vecs) }
+
+// snapshot/restore support tentative additions.
+func (e *echelon) snapshot() int { return len(e.vecs) }
+func (e *echelon) restore(n int) {
+	e.vecs = e.vecs[:n]
+	e.leads = e.leads[:n]
+}
+
+// subspaceDecouple searches for a decoupling with a *general* full-rank
+// transformation, not just a block-local one: it seeks a direct-sum
+// decomposition F₂^m = W₁ ⊕ … ⊕ W_K with dim(W_i) = m_D such that as
+// many check-matrix columns as possible lie inside a single W_i. Taking
+// T as the inverse of the stacked basis matrix maps each W_i to block
+// i's coordinates: basis columns become the identity of D_i = (I | B),
+// other interior columns become B, everything else lands in A. This
+// realizes the paper's arbitrary-T SMT search (§4.2), which the
+// row-partition strategies only approximate: here a column can be
+// interior to a block even when its support is scattered across rows.
+func subspaceDecouple(D *gf2.Dense, K int) (*Decoupling, error) {
+	m, n := D.Rows(), D.Cols()
+	if K < 2 || m%K != 0 {
+		return nil, fmt.Errorf("decouple: subspace K=%d cannot tile m=%d", K, m)
+	}
+	mD := m / K
+	words := wordsFor(m)
+
+	colVec := func(j int) bitvec {
+		v := make(bitvec, words)
+		for i := 0; i < m; i++ {
+			if D.At(i, j) {
+				v[i/64] |= 1 << (uint(i) % 64)
+			}
+		}
+		return v
+	}
+
+	// Group identical columns; process distinct vectors by frequency.
+	type colGroup struct {
+		vec  bitvec
+		cols []int
+	}
+	byKey := map[string]*colGroup{}
+	var groups []*colGroup
+	var zeroCols []int
+	for j := 0; j < n; j++ {
+		v := colVec(j)
+		if v.isZero() {
+			zeroCols = append(zeroCols, j)
+			continue
+		}
+		k := string(fmtKey(v))
+		if g, ok := byKey[k]; ok {
+			g.cols = append(g.cols, j)
+			continue
+		}
+		g := &colGroup{vec: v, cols: []int{j}}
+		byKey[k] = g
+		groups = append(groups, g)
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return len(groups[a].cols) > len(groups[b].cols) })
+
+	type subspace struct {
+		ech      echelon
+		rawVecs  []bitvec // basis vectors as they appear in D
+		rawCols  []int    // owning column ids
+		interior []int    // non-basis columns contained in the span
+	}
+	var subs []*subspace
+	global := &echelon{}
+
+	weightOf := func(v bitvec) int {
+		w := 0
+		for i := 0; i < m; i++ {
+			if v.get(i) {
+				w++
+			}
+		}
+		return w
+	}
+	var unplaced []*colGroup
+	for _, g := range groups {
+		// Already inside some subspace?
+		placed := false
+		for _, s := range subs {
+			if s.ech.contains(g.vec) {
+				s.interior = append(s.interior, g.cols...)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		// Grow the most *related* subspace with capacity: the one whose
+		// basis reduces g the most (residual lighter than g itself).
+		// Unrelated vectors open new subspaces instead, keeping the
+		// planted structure of the column space separated.
+		vw := weightOf(g.vec)
+		best, bestRes := -1, vw
+		for i, s := range subs {
+			if s.ech.dim() >= mD {
+				continue
+			}
+			if rw := weightOf(s.ech.residual(g.vec)); rw < bestRes {
+				best, bestRes = i, rw
+			}
+		}
+		snap := global.snapshot()
+		if best >= 0 && global.add(g.vec) {
+			s := subs[best]
+			s.ech.add(g.vec)
+			s.rawVecs = append(s.rawVecs, g.vec)
+			s.rawCols = append(s.rawCols, g.cols[0])
+			s.interior = append(s.interior, g.cols[1:]...)
+			continue
+		}
+		global.restore(snap)
+		if len(subs) < K {
+			if global.add(g.vec) {
+				s := &subspace{}
+				s.ech.add(g.vec)
+				s.rawVecs = append(s.rawVecs, g.vec)
+				s.rawCols = append(s.rawCols, g.cols[0])
+				s.interior = append(s.interior, g.cols[1:]...)
+				subs = append(subs, s)
+				continue
+			}
+			global.restore(snap)
+		}
+		// No related home and no free slots yet: retry after all
+		// subspaces have grown.
+		unplaced = append(unplaced, g)
+	}
+	// Second chance: growth may have absorbed earlier rejects; also
+	// allow unrelated growth now that the structure is settled.
+	for _, g := range unplaced {
+		placed := false
+		for _, s := range subs {
+			if s.ech.contains(g.vec) {
+				s.interior = append(s.interior, g.cols...)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		best, bestRes := -1, m+1
+		for i, s := range subs {
+			if s.ech.dim() >= mD {
+				continue
+			}
+			if rw := weightOf(s.ech.residual(g.vec)); rw < bestRes {
+				best, bestRes = i, rw
+			}
+		}
+		snap := global.snapshot()
+		if best >= 0 && global.add(g.vec) {
+			s := subs[best]
+			s.ech.add(g.vec)
+			s.rawVecs = append(s.rawVecs, g.vec)
+			s.rawCols = append(s.rawCols, g.cols[0])
+			s.interior = append(s.interior, g.cols[1:]...)
+			continue
+		}
+		global.restore(snap)
+		// Crossing: depends on multiple subspaces → A.
+	}
+	for len(subs) < K {
+		subs = append(subs, &subspace{})
+	}
+
+	// Complete every subspace to m_D using unit columns present in D
+	// (measurement errors), which stay globally independent trivially.
+	unitCol := map[int]int{}
+	for j := 0; j < n; j++ {
+		if sup := D.Col(j).Ones(); len(sup) == 1 {
+			if _, ok := unitCol[sup[0]]; !ok {
+				unitCol[sup[0]] = j
+			}
+		}
+	}
+	usedCol := map[int]bool{}
+	for _, s := range subs {
+		for _, j := range s.rawCols {
+			usedCol[j] = true
+		}
+	}
+	for _, s := range subs {
+		for r := 0; r < m && s.ech.dim() < mD; r++ {
+			j, ok := unitCol[r]
+			if !ok || usedCol[j] {
+				continue
+			}
+			v := colVec(j)
+			snap := global.snapshot()
+			if !global.add(v) {
+				global.restore(snap)
+				continue
+			}
+			s.ech.add(v)
+			s.rawVecs = append(s.rawVecs, v)
+			s.rawCols = append(s.rawCols, j)
+			usedCol[j] = true
+		}
+		if s.ech.dim() < mD {
+			return nil, fmt.Errorf("decouple: subspace completion stuck at dim %d/%d", s.ech.dim(), mD)
+		}
+	}
+
+	// T = B⁻¹ where column i·m_D+t of B is basis vector t of W_i.
+	B := gf2.NewDense(m, m)
+	for i, s := range subs {
+		for t, v := range s.rawVecs {
+			for r := 0; r < m; r++ {
+				if v.get(r) {
+					B.Set(r, i*mD+t, true)
+				}
+			}
+		}
+	}
+	T, err := B.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("decouple: subspace basis singular: %w", err)
+	}
+	TD := T.Mul(D)
+
+	// Assemble: uniform block width from the scarcest interior set.
+	spare := len(subs[0].interior)
+	for _, s := range subs[1:] {
+		if len(s.interior) < spare {
+			spare = len(s.interior)
+		}
+	}
+	nD := mD + spare
+	dec := &Decoupling{
+		M: m, N: n, K: K, MD: mD, ND: nD,
+		T:      T,
+		Blocks: make([]*gf2.SparseCols, K),
+	}
+	assigned := make([]bool, n)
+	var colOrder, aCols []int
+	for i, s := range subs {
+		colOrder = append(colOrder, s.rawCols...)
+		for _, j := range s.rawCols {
+			assigned[j] = true
+		}
+		sort.Ints(s.interior)
+		take := s.interior[:spare]
+		aCols = append(aCols, s.interior[spare:]...)
+		colOrder = append(colOrder, take...)
+		for _, j := range s.interior {
+			assigned[j] = true
+		}
+		b := gf2.NewSparseCols(mD, spare)
+		for jj, j := range take {
+			var sup []int
+			for t := 0; t < mD; t++ {
+				if TD.At(i*mD+t, j) {
+					sup = append(sup, t)
+				}
+			}
+			b.SetColSupport(jj, sup)
+		}
+		dec.Blocks[i] = b
+	}
+	for j := 0; j < n; j++ {
+		if !assigned[j] {
+			aCols = append(aCols, j)
+		}
+	}
+	dec.NA = len(aCols)
+	dec.A = gf2.NewSparseCols(m, dec.NA)
+	for jj, j := range aCols {
+		dec.A.SetColSupport(jj, TD.Col(j).Ones())
+	}
+	colOrder = append(colOrder, aCols...)
+	dec.ColOrder = colOrder
+	if len(colOrder) != n {
+		return nil, fmt.Errorf("decouple: subspace column accounting %d != %d", len(colOrder), n)
+	}
+	_ = zeroCols // zero columns fall through the !assigned sweep into A
+	return dec, nil
+}
+
+// fmtKey serializes a bitvec for map keying.
+func fmtKey(v bitvec) []byte {
+	b := make([]byte, 8*len(v))
+	for i, w := range v {
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(w >> (8 * k))
+		}
+	}
+	return b
+}
+
+// wordsFor mirrors gf2's packing (kept local to avoid exporting it).
+func wordsFor(n int) int { return (n + 63) / 64 }

@@ -1,0 +1,200 @@
+package decouple
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vegapunk/internal/gf2"
+)
+
+// synthesize builds the exact decoupling artifact for a given row
+// partition (groups of equal size m/K). It fails when some group's
+// interior columns cannot supply an identity (rank < m_D).
+//
+// The transformation T is block-local: within each group it is the
+// inverse of the chosen pivot submatrix (so the pivots become the
+// identity), and globally it also folds in the row permutation that
+// makes groups contiguous. Block-locality means T never moves support
+// across groups, so column interiority — and therefore the block
+// structure — is preserved exactly.
+func synthesize(D *gf2.Dense, groups [][]int) (*Decoupling, error) {
+	m, n := D.Rows(), D.Cols()
+	K := len(groups)
+	if K == 0 || m%K != 0 {
+		return nil, fmt.Errorf("decouple: %d groups cannot tile %d rows", K, m)
+	}
+	mD := m / K
+	for g, rows := range groups {
+		if len(rows) != mD {
+			return nil, fmt.Errorf("decouple: group %d has %d rows, want %d", g, len(rows), mD)
+		}
+	}
+
+	// groupOf[r] = group index of row r.
+	groupOf := make([]int, m)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for g, rows := range groups {
+		for _, r := range rows {
+			if groupOf[r] != -1 {
+				return nil, fmt.Errorf("decouple: row %d in two groups", r)
+			}
+			groupOf[r] = g
+		}
+	}
+	for r, g := range groupOf {
+		if g < 0 {
+			return nil, fmt.Errorf("decouple: row %d unassigned", r)
+		}
+	}
+
+	// Classify columns: interior to a single group, or crossing (→ A).
+	colWeight := make([]int, n)
+	interior := make([][]int, K) // interior column ids per group
+	var crossing []int
+	for j := 0; j < n; j++ {
+		sup := D.Col(j).Ones()
+		colWeight[j] = len(sup)
+		if len(sup) == 0 {
+			crossing = append(crossing, j) // zero column: useless, park in A
+			continue
+		}
+		g := groupOf[sup[0]]
+		uniform := true
+		for _, r := range sup[1:] {
+			if groupOf[r] != g {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			interior[g] = append(interior[g], j)
+		} else {
+			crossing = append(crossing, j)
+		}
+	}
+
+	// Per group: pick m_D pivot columns (lightest first — unit columns
+	// make T_g the identity) whose local submatrix is invertible.
+	type groupPlan struct {
+		rows   []int
+		pivots []int
+		nonPiv []int
+		tg     *gf2.Dense // m_D × m_D local transformation
+	}
+	plans := make([]groupPlan, K)
+	for g := 0; g < K; g++ {
+		rows := append([]int(nil), groups[g]...)
+		sort.Ints(rows)
+		local := D.SelectRows(rows)
+		cand := append([]int(nil), interior[g]...)
+		sort.SliceStable(cand, func(a, b int) bool { return colWeight[cand[a]] < colWeight[cand[b]] })
+		sub := local.SelectColumns(cand)
+		order := make([]int, len(cand))
+		for i := range order {
+			order[i] = i
+		}
+		pivLocal := sub.IndependentColumns(order, mD)
+		if len(pivLocal) < mD {
+			return nil, fmt.Errorf("decouple: group %d interior rank %d < %d", g, len(pivLocal), mD)
+		}
+		isPiv := make(map[int]bool, mD)
+		pivots := make([]int, mD)
+		for i, li := range pivLocal {
+			pivots[i] = cand[li]
+			isPiv[cand[li]] = true
+		}
+		var nonPiv []int
+		for _, j := range cand {
+			if !isPiv[j] {
+				nonPiv = append(nonPiv, j)
+			}
+		}
+		mg := local.SelectColumns(pivots)
+		tg, err := mg.Inverse()
+		if err != nil {
+			return nil, errors.New("decouple: pivot submatrix unexpectedly singular")
+		}
+		plans[g] = groupPlan{rows: rows, pivots: pivots, nonPiv: nonPiv, tg: tg}
+	}
+
+	// Uniform block width: n_D = m_D + min over groups of spare interior.
+	spare := plans[0].nonPiv
+	minSpare := len(spare)
+	for _, p := range plans[1:] {
+		if len(p.nonPiv) < minSpare {
+			minSpare = len(p.nonPiv)
+		}
+	}
+	nD := mD + minSpare
+
+	// Assemble the global T: output row g·m_D + a = Σ_b T_g[a,b] · (input
+	// row rows[b]).
+	T := gf2.NewDense(m, m)
+	for g, p := range plans {
+		for a := 0; a < mD; a++ {
+			for b := 0; b < mD; b++ {
+				if p.tg.At(a, b) {
+					T.Set(g*mD+a, p.rows[b], true)
+				}
+			}
+		}
+	}
+	TD := T.Mul(D)
+
+	// Build the column order and the structured parts.
+	dec := &Decoupling{
+		M: m, N: n, K: K, MD: mD, ND: nD,
+		T:      T,
+		Blocks: make([]*gf2.SparseCols, K),
+	}
+	var colOrder []int
+	var aCols []int
+	for g, p := range plans {
+		colOrder = append(colOrder, p.pivots...)
+		take := p.nonPiv[:minSpare]
+		rest := p.nonPiv[minSpare:]
+		colOrder = append(colOrder, take...)
+		aCols = append(aCols, rest...)
+
+		// B part: transformed non-pivot interior columns restricted to
+		// the block's rows.
+		b := gf2.NewSparseCols(mD, minSpare)
+		for jj, j := range take {
+			var sup []int
+			for t := 0; t < mD; t++ {
+				if TD.At(g*mD+t, j) {
+					sup = append(sup, t)
+				}
+			}
+			b.SetColSupport(jj, sup)
+		}
+		dec.Blocks[g] = b
+	}
+	aCols = append(aCols, crossing...)
+	dec.NA = len(aCols)
+	dec.A = gf2.NewSparseCols(m, len(aCols))
+	for jj, j := range aCols {
+		dec.A.SetColSupport(jj, TD.Col(j).Ones())
+	}
+	colOrder = append(colOrder, aCols...)
+	dec.ColOrder = colOrder
+	return dec, nil
+}
+
+// candidateKs returns the paper's K candidates: divisors of m with
+// m/K ≥ S (the column sparsity), largest first, K ≥ 2.
+func candidateKs(m, S int) []int {
+	if S < 1 {
+		S = 1
+	}
+	var ks []int
+	for k := m / S; k >= 2; k-- {
+		if m%k == 0 {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}

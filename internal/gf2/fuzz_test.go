@@ -1,0 +1,77 @@
+package gf2
+
+import (
+	"testing"
+)
+
+// FuzzSolveConsistency: for any matrix bits and error vector, Solve on
+// the induced consistent system must return a solution.
+func FuzzSolveConsistency(f *testing.F) {
+	f.Add(uint16(0xBEEF), uint8(5), uint8(9))
+	f.Add(uint16(0x1234), uint8(3), uint8(3))
+	f.Add(uint16(0), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint16, rRaw, cRaw uint8) {
+		r := int(rRaw%12) + 1
+		c := int(cRaw%12) + 1
+		m := NewDense(r, c)
+		state := uint32(seed) + 1
+		next := func() uint32 {
+			state ^= state << 13
+			state ^= state >> 17
+			state ^= state << 5
+			return state
+		}
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if next()%3 == 0 {
+					m.Set(i, j, true)
+				}
+			}
+		}
+		x0 := NewVec(c)
+		for j := 0; j < c; j++ {
+			if next()%2 == 0 {
+				x0.Set(j, true)
+			}
+		}
+		b := m.MulVec(x0)
+		x, err := m.Solve(b)
+		if err != nil {
+			t.Fatalf("consistent system unsolvable: %v", err)
+		}
+		if !m.MulVec(x).Equal(b) {
+			t.Fatal("Solve returned a non-solution")
+		}
+		// Rank-nullity must hold as well.
+		if m.Rank()+m.NullSpace().Rows() != c {
+			t.Fatal("rank-nullity violated")
+		}
+	})
+}
+
+// FuzzTransposeRank: rank is transpose-invariant for arbitrary bit
+// patterns.
+func FuzzTransposeRank(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0xAA})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		r := int(data[0]%8) + 1
+		c := int(data[len(data)-1]%8) + 1
+		m := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				idx := (i*c + j) % len(data)
+				if data[idx]>>(uint(i+j)%8)&1 == 1 {
+					m.Set(i, j, true)
+				}
+			}
+		}
+		if m.Rank() != m.Transpose().Rank() {
+			t.Fatal("rank not transpose-invariant")
+		}
+	})
+}

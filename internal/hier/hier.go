@@ -1,0 +1,380 @@
+// Package hier implements Vegapunk's online hierarchical decoding
+// (paper §4.3, Algorithm 1): split the permuted error into the left part
+// l (diagonal blocks) and right part r (sparse matrix A), greedily guess
+// r one bit per outer iteration, and decode l per block with GreedyGuess,
+// exploiting the incremental-syndrome-update trick of the accelerator's
+// HDU (§5.2): flipping one bit of r only disturbs the ≤S blocks touched
+// by that column of A, so all other block solutions are reused.
+package hier
+
+import (
+	"runtime"
+	"sync"
+
+	"vegapunk/internal/decouple"
+	"vegapunk/internal/gf2"
+)
+
+// Config tunes the online decoder.
+type Config struct {
+	// MaxIters is the paper's M: outer right-error guessing rounds
+	// (default 3, the paper's production setting).
+	MaxIters int
+	// InnerIters caps GreedyGuess rounds per block (default 3).
+	InnerIters int
+	// Parallel evaluates right-error candidates across goroutines.
+	Parallel bool
+	// Workers bounds the parallel worker count (default GOMAXPROCS).
+	Workers int
+	// DisableIncremental forces full block re-decodes per candidate
+	// (ablation knob; the accelerator's incremental update is the
+	// default).
+	DisableIncremental bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 3
+	}
+	if c.InnerIters <= 0 {
+		c.InnerIters = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Trace records what a decode did, feeding the accelerator cycle model.
+type Trace struct {
+	// OuterIters is the number of executed outer rounds (≤ MaxIters).
+	OuterIters int
+	// Candidates is the number of right-error candidates evaluated.
+	Candidates int
+	// BlockDecodes counts GreedyGuess invocations.
+	BlockDecodes int
+	// MaxInnerIters is the largest GreedyGuess round count observed.
+	MaxInnerIters int
+	// Weight is the final objective value Σ w_j e_j.
+	Weight float64
+}
+
+// Decoder executes Algorithm 1 against one decoupling artifact.
+type Decoder struct {
+	cfg Config
+	dec *decouple.Decoupling
+	// weights in D' column order, split per region.
+	w []float64
+	// blockRowsOf[row] = block index (rows of D' are block-contiguous).
+	// scratch buffers for the serial path.
+	scratch *scratch
+	pool    sync.Pool
+}
+
+// scratch holds per-goroutine decode buffers.
+type scratch struct {
+	f    gf2.Vec // block identity part, length MD
+	g    gf2.Vec // block B part, length ND-MD
+	sl   gf2.Vec // block syndrome slice, length MD
+	full gf2.Vec // full left syndrome, length M
+}
+
+// blockSol is one block's GreedyGuess solution.
+type blockSol struct {
+	f, g  gf2.Vec
+	obj   float64
+	inner int
+}
+
+func (b *blockSol) clone() blockSol {
+	return blockSol{f: b.f.Clone(), g: b.g.Clone(), obj: b.obj, inner: b.inner}
+}
+
+// New builds the online decoder from an offline decoupling artifact and
+// the per-column objective weights of the *original* matrix (LLRs).
+func New(dec *decouple.Decoupling, originalWeights []float64, cfg Config) *Decoder {
+	d := &Decoder{
+		cfg: cfg.withDefaults(),
+		dec: dec,
+		w:   dec.PermuteWeights(originalWeights),
+	}
+	d.scratch = d.newScratch()
+	d.pool.New = func() any { return d.newScratch() }
+	return d
+}
+
+func (d *Decoder) newScratch() *scratch {
+	return &scratch{
+		f:    gf2.NewVec(d.dec.MD),
+		g:    gf2.NewVec(d.dec.ND - d.dec.MD),
+		sl:   gf2.NewVec(d.dec.MD),
+		full: gf2.NewVec(d.dec.M),
+	}
+}
+
+// weight regions.
+func (d *Decoder) wIdent(g int) []float64 { // identity part of block g
+	return d.w[g*d.dec.ND : g*d.dec.ND+d.dec.MD]
+}
+func (d *Decoder) wB(g int) []float64 { // B part of block g
+	return d.w[g*d.dec.ND+d.dec.MD : (g+1)*d.dec.ND]
+}
+func (d *Decoder) wA() []float64 { // A columns
+	return d.w[d.dec.K*d.dec.ND:]
+}
+
+// Decode runs Algorithm 1 and returns the estimated error in the
+// original column order, plus the execution trace. The result always
+// satisfies D·e = s exactly (GreedyGuess solutions are constraint-exact
+// by construction).
+func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
+	dec := d.dec
+	tr := Trace{}
+	sPrime := dec.TransformSyndrome(syndrome) // line 1
+	rBest := gf2.NewVec(dec.NA)               // line 2
+	slBase := sPrime.Clone()                  // s' ⊕ A·rBest (rBest = 0)
+
+	// Baseline solution: decode every block against slBase.
+	sols := make([]blockSol, dec.K)
+	for g := 0; g < dec.K; g++ {
+		sols[g] = d.greedyGuess(g, dec.BlockSyndrome(slBase, g), d.scratch)
+		tr.BlockDecodes++
+		if sols[g].inner > tr.MaxInnerIters {
+			tr.MaxInnerIters = sols[g].inner
+		}
+	}
+	dMin := d.totalWeight(sols, rBest)
+	wa := d.wA()
+
+	for k := 1; k <= d.cfg.MaxIters; k++ { // line 3
+		tr.OuterIters = k
+		bestI := -1
+		bestDelta := 0.0
+		// eval scores candidate i (flip bit i of rBest) without
+		// materializing its block solutions; the winner's solutions are
+		// recomputed once after selection.
+		eval := func(i int, sc *scratch) (float64, bool) {
+			// Candidate r = rBest with bit i set (line 5).
+			if rBest.Get(i) {
+				return 0, false
+			}
+			sup := dec.A.ColSupport(i)
+			delta := wa[i]
+			if d.cfg.DisableIncremental {
+				// Full re-decode of every block against the modified
+				// syndrome (ablation of the incremental update).
+				sc.full.CopyFrom(slBase)
+				for _, r := range sup {
+					sc.full.Flip(r)
+				}
+				delta = wa[i]
+				for g := 0; g < dec.K; g++ {
+					ns := d.greedyGuess(g, dec.BlockSyndrome(sc.full, g), sc)
+					delta += ns.obj - sols[g].obj
+				}
+				return delta, true
+			}
+			// Incremental: only blocks touched by column i change.
+			for bi, r := range sup {
+				g := r / dec.MD
+				if dup := firstBlockIndex(sup, dec.MD, g); dup < bi {
+					continue // block already evaluated for this candidate
+				}
+				// Block syndrome = base slice with the touched rows
+				// flipped.
+				sc.sl.CopyFrom(dec.BlockSyndrome(slBase, g))
+				for _, r2 := range sup {
+					if r2/dec.MD == g {
+						sc.sl.Flip(r2 - g*dec.MD)
+					}
+				}
+				ns := d.greedyGuess(g, sc.sl, sc)
+				delta += ns.obj - sols[g].obj
+			}
+			return delta, true
+		}
+
+		if d.cfg.Parallel && dec.NA > 1 {
+			type cand struct {
+				i     int
+				delta float64
+			}
+			workers := d.cfg.Workers
+			results := make([]cand, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sc := d.pool.Get().(*scratch)
+					defer d.pool.Put(sc)
+					best := cand{i: -1}
+					for i := w; i < dec.NA; i += workers {
+						delta, ok := eval(i, sc)
+						if !ok {
+							continue
+						}
+						if best.i < 0 || delta < best.delta {
+							best = cand{i: i, delta: delta}
+						}
+					}
+					results[w] = best
+				}(w)
+			}
+			wg.Wait()
+			tr.Candidates += dec.NA
+			for _, c := range results {
+				if c.i >= 0 && (bestI < 0 || c.delta < bestDelta) {
+					bestI, bestDelta = c.i, c.delta
+				}
+			}
+		} else {
+			for i := 0; i < dec.NA; i++ { // line 4
+				delta, ok := eval(i, d.scratch)
+				tr.Candidates++
+				if !ok {
+					continue
+				}
+				if bestI < 0 || delta < bestDelta {
+					bestI, bestDelta = i, delta
+				}
+			}
+		}
+
+		if bestI < 0 || bestDelta >= 0 { // lines 11, 13-14
+			break
+		}
+		// Recompute the winning candidate's touched block solutions once.
+		bestSols := map[int]blockSol{}
+		{
+			sup := dec.A.ColSupport(bestI)
+			if d.cfg.DisableIncremental {
+				d.scratch.full.CopyFrom(slBase)
+				for _, r := range sup {
+					d.scratch.full.Flip(r)
+				}
+				for g := 0; g < dec.K; g++ {
+					bestSols[g] = d.greedyGuess(g, dec.BlockSyndrome(d.scratch.full, g), d.scratch)
+				}
+			} else {
+				for bi, r := range sup {
+					g := r / dec.MD
+					if dup := firstBlockIndex(sup, dec.MD, g); dup < bi {
+						continue
+					}
+					d.scratch.sl.CopyFrom(dec.BlockSyndrome(slBase, g))
+					for _, r2 := range sup {
+						if r2/dec.MD == g {
+							d.scratch.sl.Flip(r2 - g*dec.MD)
+						}
+					}
+					bestSols[g] = d.greedyGuess(g, d.scratch.sl, d.scratch)
+				}
+			}
+		}
+		// Commit (line 12).
+		rBest.Set(bestI, true)
+		for _, r := range dec.A.ColSupport(bestI) {
+			slBase.Flip(r)
+		}
+		for g, ns := range bestSols {
+			sols[g] = ns
+			if ns.inner > tr.MaxInnerIters {
+				tr.MaxInnerIters = ns.inner
+			}
+			tr.BlockDecodes++
+		}
+		dMin += bestDelta
+	}
+
+	// Assemble e' and recover e = P·e' (line 15).
+	ePrime := gf2.NewVec(dec.N)
+	for g := 0; g < dec.K; g++ {
+		base := g * dec.ND
+		for _, i := range sols[g].f.Ones() {
+			ePrime.Set(base+i, true)
+		}
+		for _, i := range sols[g].g.Ones() {
+			ePrime.Set(base+dec.MD+i, true)
+		}
+	}
+	aBase := dec.K * dec.ND
+	for _, i := range rBest.Ones() {
+		ePrime.Set(aBase+i, true)
+	}
+	tr.Weight = dMin
+	return d.dec.RecoverError(ePrime), tr
+}
+
+// firstBlockIndex returns the index within sup of the first row that
+// falls in block g.
+func firstBlockIndex(sup []int, mD, g int) int {
+	for i, r := range sup {
+		if r/mD == g {
+			return i
+		}
+	}
+	return len(sup)
+}
+
+// totalWeight computes Σ w over the assembled solution.
+func (d *Decoder) totalWeight(sols []blockSol, r gf2.Vec) float64 {
+	total := 0.0
+	for g := range sols {
+		total += sols[g].obj
+	}
+	wa := d.wA()
+	for _, i := range r.Ones() {
+		total += wa[i]
+	}
+	return total
+}
+
+// greedyGuess solves D_i·l = s_l for one block (paper Fig. 6): with
+// D_i = (I | B), fix g and read off f = B·g ⊕ s_l; start from g = 0 and
+// greedily flip the g bit that most reduces the weighted objective,
+// stopping when no flip helps or InnerIters is reached.
+func (d *Decoder) greedyGuess(g int, sl gf2.Vec, sc *scratch) blockSol {
+	b := d.dec.Blocks[g]
+	wf := d.wIdent(g)
+	wg := d.wB(g)
+	nB := b.Cols()
+
+	f := sl.Clone()
+	gv := gf2.NewVec(nB)
+	obj := 0.0
+	for _, i := range f.Ones() {
+		obj += wf[i]
+	}
+	inner := 0
+	for round := 1; round <= d.cfg.InnerIters; round++ {
+		bestBit := -1
+		bestDelta := 0.0
+		for bit := 0; bit < nB; bit++ {
+			if gv.Get(bit) {
+				continue
+			}
+			delta := wg[bit]
+			for _, r := range b.ColSupport(bit) {
+				if f.Get(r) {
+					delta -= wf[r]
+				} else {
+					delta += wf[r]
+				}
+			}
+			if bestBit < 0 || delta < bestDelta {
+				bestBit, bestDelta = bit, delta
+			}
+		}
+		if bestBit < 0 || bestDelta >= 0 {
+			break
+		}
+		inner = round
+		gv.Set(bestBit, true)
+		for _, r := range b.ColSupport(bestBit) {
+			f.Flip(r)
+		}
+		obj += bestDelta
+	}
+	return blockSol{f: f, g: gv, obj: obj, inner: inner}
+}

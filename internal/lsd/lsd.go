@@ -1,0 +1,225 @@
+// Package lsd implements BP+LSD (localized statistics decoding, order 0;
+// Hillmann et al. 2024): a parallel post-processor that, when BP fails,
+// grows clusters around flipped detectors until each cluster's local
+// linear system becomes solvable, then solves the clusters independently
+// with reliability-guided pivoting.
+package lsd
+
+import (
+	"sort"
+
+	"vegapunk/internal/bp"
+	"vegapunk/internal/gf2"
+)
+
+// Decoder is a BP+LSD decoder bound to one check matrix.
+type Decoder struct {
+	bp       *bp.Decoder
+	h        *gf2.SparseCols
+	rows     *gf2.SparseRows
+	priorLLR []float64
+}
+
+// New builds a BP+LSD decoder. The paper's configuration runs BP for 30
+// iterations with order-0 cluster solving.
+func New(h *gf2.SparseCols, priorLLR []float64, bpCfg bp.Config) *Decoder {
+	if bpCfg.MaxIters == 0 {
+		bpCfg.MaxIters = 30
+	}
+	return &Decoder{
+		bp:       bp.New(h, priorLLR, bpCfg),
+		h:        h,
+		rows:     gf2.SparseRowsFromDense(h.ToDense()),
+		priorLLR: priorLLR,
+	}
+}
+
+// Result reports a BP+LSD decode.
+type Result struct {
+	Error       gf2.Vec
+	BPConverged bool
+	BPIters     int
+	// Clusters is the number of clusters solved and MaxClusterChecks the
+	// largest cluster's check count (κ in the paper's complexity table).
+	Clusters, MaxClusterChecks int
+}
+
+// Decode runs BP and, on failure, localized cluster solving.
+func (d *Decoder) Decode(syndrome gf2.Vec) Result {
+	r := d.bp.Decode(syndrome)
+	if r.Converged {
+		return Result{Error: r.Error.Clone(), BPConverged: true, BPIters: r.Iters}
+	}
+	e, nc, maxc := d.clusterSolve(syndrome, r.Posterior)
+	return Result{Error: e, BPIters: r.Iters, Clusters: nc, MaxClusterChecks: maxc}
+}
+
+// clusterSolve grows and solves clusters around flipped detectors.
+func (d *Decoder) clusterSolve(syndrome gf2.Vec, soft []float64) (gf2.Vec, int, int) {
+	m, n := d.h.Rows(), d.h.Cols()
+	// Union-find over checks.
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	inCluster := make([]bool, m)
+	colIn := make([]bool, n)
+	seeds := syndrome.Ones()
+	for _, c := range seeds {
+		inCluster[c] = true
+	}
+
+	// Iteratively grow all clusters simultaneously until every cluster's
+	// local system is solvable (or the whole matrix has been absorbed).
+	for iter := 0; ; iter++ {
+		// Collect clusters.
+		groups := map[int][]int{}
+		for c := 0; c < m; c++ {
+			if inCluster[c] {
+				r := find(c)
+				groups[r] = append(groups[r], c)
+			}
+		}
+		allValid := true
+		for _, checks := range groups {
+			if !d.clusterValid(checks, colIn, syndrome) {
+				allValid = false
+				// Grow: absorb every column adjacent to the cluster's
+				// checks, then every check adjacent to those columns.
+				for _, c := range checks {
+					for _, v := range d.rows.RowSupport(c) {
+						colIn[v] = true
+						for _, c2 := range d.h.ColSupport(v) {
+							if !inCluster[c2] {
+								inCluster[c2] = true
+								parent[c2] = find(c)
+							} else {
+								union(c2, c)
+							}
+						}
+					}
+				}
+			}
+		}
+		if allValid || iter > m {
+			break
+		}
+	}
+
+	// Solve each cluster independently with reliability-guided pivoting.
+	out := gf2.NewVec(n)
+	groups := map[int][]int{}
+	for c := 0; c < m; c++ {
+		if inCluster[c] {
+			r := find(c)
+			groups[r] = append(groups[r], c)
+		}
+	}
+	maxChecks := 0
+	for _, checks := range groups {
+		if len(checks) > maxChecks {
+			maxChecks = len(checks)
+		}
+		d.solveCluster(checks, colIn, syndrome, soft, out)
+	}
+	return out, len(groups), maxChecks
+}
+
+// clusterValid reports whether the local system restricted to the
+// cluster's checks and its interior columns is solvable.
+func (d *Decoder) clusterValid(checks []int, colIn []bool, syndrome gf2.Vec) bool {
+	cols := d.interiorColumns(checks, colIn)
+	if len(cols) == 0 {
+		return false
+	}
+	sub, rhs := d.localSystem(checks, cols, syndrome)
+	_, err := sub.Solve(rhs)
+	return err == nil
+}
+
+// interiorColumns returns absorbed columns whose support lies entirely
+// within the cluster's checks (so solving them cannot disturb other
+// clusters).
+func (d *Decoder) interiorColumns(checks []int, colIn []bool) []int {
+	inSet := map[int]bool{}
+	for _, c := range checks {
+		inSet[c] = true
+	}
+	seen := map[int]bool{}
+	var cols []int
+	for _, c := range checks {
+		for _, v := range d.rows.RowSupport(c) {
+			if !colIn[v] || seen[v] {
+				continue
+			}
+			seen[v] = true
+			ok := true
+			for _, c2 := range d.h.ColSupport(v) {
+				if !inSet[c2] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cols = append(cols, v)
+			}
+		}
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// localSystem extracts the cluster submatrix and sub-syndrome.
+func (d *Decoder) localSystem(checks, cols []int, syndrome gf2.Vec) (*gf2.Dense, gf2.Vec) {
+	sub := gf2.NewDense(len(checks), len(cols))
+	rowOf := map[int]int{}
+	for i, c := range checks {
+		rowOf[c] = i
+	}
+	for j, v := range cols {
+		for _, c := range d.h.ColSupport(v) {
+			if i, ok := rowOf[c]; ok {
+				sub.Set(i, j, true)
+			}
+		}
+	}
+	rhs := gf2.NewVec(len(checks))
+	for i, c := range checks {
+		if syndrome.Get(c) {
+			rhs.Set(i, true)
+		}
+	}
+	return sub, rhs
+}
+
+// solveCluster writes a reliability-guided particular solution of the
+// cluster system into out.
+func (d *Decoder) solveCluster(checks []int, colIn []bool, syndrome gf2.Vec, soft []float64, out gf2.Vec) {
+	cols := d.interiorColumns(checks, colIn)
+	if len(cols) == 0 {
+		return
+	}
+	// Order columns most-likely-error first so the Gaussian solution
+	// places support there (order-0 statistics).
+	sort.SliceStable(cols, func(a, b int) bool { return soft[cols[a]] < soft[cols[b]] })
+	sub, rhs := d.localSystem(checks, cols, syndrome)
+	x, err := sub.Solve(rhs)
+	if err != nil {
+		return // cluster still unsolvable; leave zero (best effort)
+	}
+	for j := 0; j < x.Len(); j++ {
+		if x.Get(j) {
+			out.Set(cols[j], true)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package lsd
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/bp"
+	"vegapunk/internal/code"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+func TestLSDSatisfiesSyndromeOnConvergedBP(t *testing.T) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	d := New(model.Mech, model.LLRs(), bp.Config{MaxIters: 30})
+	rng := rand.New(rand.NewPCG(1, 1))
+	h := model.CheckMatrix()
+	satisfied := 0
+	for trial := 0; trial < 40; trial++ {
+		e := model.Sample(rng)
+		s := model.Syndrome(e)
+		res := d.Decode(s)
+		if h.MulVec(res.Error).Equal(s) {
+			satisfied++
+		}
+	}
+	// LSD order-0 is best-effort, but at p=1% on a small BB code the
+	// overwhelming majority of decodes must satisfy the syndrome.
+	if satisfied < 35 {
+		t.Errorf("only %d/40 decodes satisfied the syndrome", satisfied)
+	}
+}
+
+func TestLSDClusterAccounting(t *testing.T) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.08)
+	d := New(model.Mech, model.LLRs(), bp.Config{MaxIters: 5}) // force BP failures
+	rng := rand.New(rand.NewPCG(2, 2))
+	sawClusters := false
+	for trial := 0; trial < 40; trial++ {
+		e := model.Sample(rng)
+		res := d.Decode(model.Syndrome(e))
+		if !res.BPConverged {
+			if res.Clusters > 0 {
+				sawClusters = true
+			}
+			if res.MaxClusterChecks < 0 || res.MaxClusterChecks > model.NumDet {
+				t.Fatalf("implausible cluster size %d", res.MaxClusterChecks)
+			}
+		}
+	}
+	if !sawClusters {
+		t.Error("never exercised the cluster path; raise p or lower iters")
+	}
+}
+
+func TestLSDZeroSyndrome(t *testing.T) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	d := New(model.Mech, model.LLRs(), bp.Config{})
+	zero := d.Decode(gf2.NewVec(model.NumDet))
+	if !zero.Error.IsZero() {
+		t.Error("nonzero correction for zero syndrome")
+	}
+	if !zero.BPConverged {
+		t.Error("BP should converge instantly on zero syndrome")
+	}
+}

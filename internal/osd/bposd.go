@@ -1,0 +1,45 @@
+package osd
+
+import (
+	"vegapunk/internal/bp"
+	"vegapunk/internal/gf2"
+)
+
+// BPOSD chains belief propagation with OSD post-processing: the paper's
+// accuracy baseline BP+OSD-CS(t). BP output is returned directly when it
+// converges; otherwise its posteriors seed the OSD reliability order.
+type BPOSD struct {
+	bp  *bp.Decoder
+	osd *Decoder
+}
+
+// NewBPOSD builds the combined decoder. h is consumed in both sparse
+// (BP) and dense (OSD) forms; priorLLR supplies both the BP priors and
+// the OSD objective.
+func NewBPOSD(h *gf2.SparseCols, priorLLR []float64, bpCfg bp.Config, osdCfg Config) *BPOSD {
+	return &BPOSD{
+		bp:  bp.New(h, priorLLR, bpCfg),
+		osd: New(h.ToDense(), priorLLR, osdCfg),
+	}
+}
+
+// Result reports a BP+OSD decode.
+type Result struct {
+	Error gf2.Vec
+	// BPConverged indicates OSD was skipped.
+	BPConverged bool
+	// BPIters is the iteration count of the BP stage (for latency models).
+	BPIters int
+}
+
+// Decode runs BP and, on non-convergence, OSD.
+func (d *BPOSD) Decode(syndrome gf2.Vec) Result {
+	r := d.bp.Decode(syndrome)
+	if r.Converged {
+		return Result{Error: r.Error.Clone(), BPConverged: true, BPIters: r.Iters}
+	}
+	return Result{
+		Error:   d.osd.Decode(syndrome, r.Posterior),
+		BPIters: r.Iters,
+	}
+}

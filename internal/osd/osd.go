@@ -1,0 +1,201 @@
+// Package osd implements Ordered Statistics Decoding post-processing
+// (Fossorier & Lin), the accuracy workhorse of the BP+OSD baseline: when
+// BP fails to converge, OSD ranks mechanisms by their BP soft output,
+// Gauss-eliminates the check matrix in that order, and searches low-order
+// bit-flip combinations of the least reliable positions for the
+// minimum-weight syndrome-consistent error.
+package osd
+
+import (
+	"math"
+	"sort"
+
+	"vegapunk/internal/gf2"
+)
+
+// Method selects the OSD search order.
+type Method int
+
+// OSD search strategies (Roffe et al. terminology).
+const (
+	// OSD0 outputs the hard solution after Gaussian elimination.
+	OSD0 Method = iota
+	// CombinationSweep additionally tries all 1- and 2-bit flips among
+	// the Order least-reliable non-pivot positions (BP+OSD-CS(t)).
+	CombinationSweep
+	// Exhaustive tries every subset of size ≤ Lambda among the Order
+	// least-reliable non-pivot positions (OSD-E(λ)); Lambda = 2
+	// coincides with CombinationSweep, Lambda = 3 trades latency for a
+	// little more accuracy — the natural extension the paper's accuracy
+	// ceiling points at.
+	Exhaustive
+)
+
+// Config parameterizes OSD.
+type Config struct {
+	Method Method
+	// Order is the t in CS(t); the paper uses t = 7.
+	Order int
+	// Lambda is the maximum flip-subset size for Exhaustive (default 3).
+	Lambda int
+}
+
+// Decoder performs OSD against one check matrix. The Gaussian
+// elimination is redone per decode (reliability order changes per
+// syndrome), which is exactly the sequential cost that makes BP+OSD
+// unsuitable for real-time decoding (paper §3 Challenge 2).
+type Decoder struct {
+	cfg Config
+	h   *gf2.Dense
+	// priorLLR is used as the minimum-weight objective.
+	priorLLR []float64
+}
+
+// New builds an OSD decoder for a dense check matrix with the prior LLR
+// objective weights.
+func New(h *gf2.Dense, priorLLR []float64, cfg Config) *Decoder {
+	if cfg.Order <= 0 {
+		cfg.Order = 7
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 3
+	}
+	return &Decoder{cfg: cfg, h: h, priorLLR: priorLLR}
+}
+
+// Decode returns the OSD estimate for the syndrome given per-mechanism
+// soft reliabilities (BP posteriors: negative = likely flipped). If
+// soft is nil the prior LLRs are used. The result always satisfies
+// H·e = s when the syndrome is consistent; otherwise a best-effort
+// vector is returned.
+func (d *Decoder) Decode(syndrome gf2.Vec, soft []float64) gf2.Vec {
+	n := d.h.Cols()
+	m := d.h.Rows()
+	if soft == nil {
+		soft = d.priorLLR
+	}
+	// Rank columns most-likely-error first (ascending soft LLR).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return soft[order[a]] < soft[order[b]] })
+
+	// Eliminate [H | I] with pivot preference following the order. The
+	// row transform E lets us solve for arbitrary right-hand sides.
+	aug := gf2.HStack(d.h, gf2.Eye(m))
+	pivCols := make([]int, 0, m)
+	r := 0
+	for _, c := range order {
+		if r >= m {
+			break
+		}
+		p := -1
+		for i := r; i < m; i++ {
+			if aug.At(i, c) {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		aug.SwapRows(r, p)
+		for i := 0; i < m; i++ {
+			if i != r && aug.At(i, c) {
+				aug.RowXor(i, r)
+			}
+		}
+		pivCols = append(pivCols, c)
+		r++
+	}
+	e := aug.Submatrix(0, m, n, n+m) // row transform: e·H has identity on pivots
+
+	isPivot := make([]bool, n)
+	for _, c := range pivCols {
+		isPivot[c] = true
+	}
+	// Least-reliable non-pivot columns, most-likely-error first.
+	var nonPiv []int
+	for _, c := range order {
+		if !isPivot[c] {
+			nonPiv = append(nonPiv, c)
+		}
+	}
+
+	solve := func(flips []int) (gf2.Vec, bool) {
+		b := syndrome.Clone()
+		for _, c := range flips {
+			b.Xor(d.h.Col(c))
+		}
+		rb := e.MulVec(b)
+		// Consistency: rows beyond the rank must be zero.
+		for i := len(pivCols); i < m; i++ {
+			if rb.Get(i) {
+				return gf2.Vec{}, false
+			}
+		}
+		out := gf2.NewVec(n)
+		for i, c := range pivCols {
+			if rb.Get(i) {
+				out.Set(c, true)
+			}
+		}
+		for _, c := range flips {
+			out.Flip(c)
+		}
+		return out, true
+	}
+
+	weight := func(v gf2.Vec) float64 {
+		w := 0.0
+		for _, j := range v.Ones() {
+			w += d.priorLLR[j]
+		}
+		return w
+	}
+
+	best, ok := solve(nil)
+	bestW := math.Inf(1)
+	if ok {
+		bestW = weight(best)
+	}
+	if d.cfg.Method == CombinationSweep || d.cfg.Method == Exhaustive {
+		t := d.cfg.Order
+		if t > len(nonPiv) {
+			t = len(nonPiv)
+		}
+		try := func(flips []int) {
+			cand, ok := solve(flips)
+			if !ok {
+				return
+			}
+			if w := weight(cand); w < bestW {
+				best, bestW = cand, w
+			}
+		}
+		lambda := 2
+		if d.cfg.Method == Exhaustive {
+			lambda = d.cfg.Lambda
+		}
+		var rec func(start int, flips []int)
+		rec = func(start int, flips []int) {
+			if len(flips) > 0 {
+				try(flips)
+			}
+			if len(flips) == lambda {
+				return
+			}
+			for a := start; a < t; a++ {
+				rec(a+1, append(flips, nonPiv[a]))
+			}
+		}
+		rec(0, nil)
+	}
+	if math.IsInf(bestW, 1) {
+		// Inconsistent system (should not happen for sampled syndromes);
+		// return the unconstrained hard decision.
+		return gf2.NewVec(n)
+	}
+	return best
+}

@@ -1,0 +1,179 @@
+package smt
+
+// AddAtMost constrains at most k of the literals to be true, using the
+// Sinz sequential-counter encoding (auxiliary variables s_{i,j} = "at
+// least j of the first i+1 literals are true").
+func (s *Solver) AddAtMost(lits []Lit, k int) bool {
+	n := len(lits)
+	if k >= n {
+		return true
+	}
+	if k < 0 {
+		s.unsat = true
+		return false
+	}
+	if k == 0 {
+		ok := true
+		for _, l := range lits {
+			ok = s.AddClause(l.Not()) && ok
+		}
+		return ok
+	}
+	// reg[i][j]: among lits[0..i], at least j+1 are true (j in 0..k-1).
+	reg := make([][]Var, n)
+	for i := range reg {
+		reg[i] = make([]Var, k)
+		for j := range reg[i] {
+			reg[i][j] = s.NewVar()
+		}
+	}
+	ok := true
+	// lits[0] -> reg[0][0]
+	ok = s.AddClause(lits[0].Not(), Pos(reg[0][0])) && ok
+	// ¬reg[0][j] for j ≥ 1
+	for j := 1; j < k; j++ {
+		ok = s.AddClause(Neg(reg[0][j])) && ok
+	}
+	for i := 1; i < n; i++ {
+		// lits[i] -> reg[i][0]
+		ok = s.AddClause(lits[i].Not(), Pos(reg[i][0])) && ok
+		// reg[i-1][j] -> reg[i][j]
+		for j := 0; j < k; j++ {
+			ok = s.AddClause(Neg(reg[i-1][j]), Pos(reg[i][j])) && ok
+		}
+		// lits[i] ∧ reg[i-1][j-1] -> reg[i][j]
+		for j := 1; j < k; j++ {
+			ok = s.AddClause(lits[i].Not(), Neg(reg[i-1][j-1]), Pos(reg[i][j])) && ok
+		}
+		// Overflow: lits[i] ∧ reg[i-1][k-1] -> ⊥
+		ok = s.AddClause(lits[i].Not(), Neg(reg[i-1][k-1])) && ok
+	}
+	return ok
+}
+
+// AddAtLeast constrains at least k of the literals to be true (encoded
+// as "at most n-k of the negations").
+func (s *Solver) AddAtLeast(lits []Lit, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k > len(lits) {
+		s.unsat = true
+		return false
+	}
+	if k == 1 {
+		return s.AddClause(lits...)
+	}
+	neg := make([]Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Not()
+	}
+	return s.AddAtMost(neg, len(lits)-k)
+}
+
+// AddExactly constrains exactly k of the literals to be true.
+func (s *Solver) AddExactly(lits []Lit, k int) bool {
+	return s.AddAtMost(lits, k) && s.AddAtLeast(lits, k)
+}
+
+// AddXor constrains the XOR of the literals to equal parity (true = odd).
+// Uses a linear chain of auxiliary variables, suitable for the GF(2)
+// row-equation constraints of the decoupler.
+func (s *Solver) AddXor(lits []Lit, parity bool) bool {
+	switch len(lits) {
+	case 0:
+		if parity {
+			s.unsat = true
+			return false
+		}
+		return true
+	case 1:
+		if parity {
+			return s.AddClause(lits[0])
+		}
+		return s.AddClause(lits[0].Not())
+	}
+	// Chain: acc_0 = lits[0]; acc_i = acc_{i-1} ⊕ lits[i]; acc_last = parity.
+	acc := lits[0]
+	for i := 1; i < len(lits); i++ {
+		var out Lit
+		if i == len(lits)-1 {
+			// Final accumulator is a constant: encode directly.
+			return s.addXor2Const(acc, lits[i], parity)
+		}
+		v := s.NewVar()
+		out = Pos(v)
+		if !s.addXor3(acc, lits[i], out) {
+			return false
+		}
+		acc = out
+	}
+	return true
+}
+
+// addXor3 encodes c = a ⊕ b.
+func (s *Solver) addXor3(a, b, c Lit) bool {
+	ok := s.AddClause(a.Not(), b.Not(), c.Not())
+	ok = s.AddClause(a, b, c.Not()) && ok
+	ok = s.AddClause(a.Not(), b, c) && ok
+	ok = s.AddClause(a, b.Not(), c) && ok
+	return ok
+}
+
+// addXor2Const encodes a ⊕ b = parity.
+func (s *Solver) addXor2Const(a, b Lit, parity bool) bool {
+	if parity {
+		return s.AddClause(a, b) && s.AddClause(a.Not(), b.Not())
+	}
+	return s.AddClause(a, b.Not()) && s.AddClause(a.Not(), b)
+}
+
+// Minimize finds an assignment minimizing the number of true literals in
+// obj, by iterative strengthening: solve, count, constrain "≤ count-1",
+// repeat until UNSAT. Returns the optimal count and whether any model was
+// found. The solver is left holding the optimal model.
+//
+// This is the optimization loop the decoupler uses for the paper's
+// Eq. 11 sparsity objective on small instances.
+func (s *Solver) Minimize(obj []Lit) (best int, sat bool) {
+	if !s.Solve() {
+		return 0, false
+	}
+	count := func() int {
+		c := 0
+		for _, l := range obj {
+			if s.LitValue(l) {
+				c++
+			}
+		}
+		return c
+	}
+	best = count()
+	model := s.snapshot()
+	for best > 0 {
+		s.cancelUntil(0)
+		if !s.AddAtMost(obj, best-1) || !s.Solve() {
+			break
+		}
+		best = count()
+		model = s.snapshot()
+	}
+	s.restore(model)
+	return best, true
+}
+
+// snapshot captures the current model values of all original variables.
+func (s *Solver) snapshot() []lbool {
+	out := make([]lbool, len(s.assign))
+	copy(out, s.assign)
+	return out
+}
+
+// restore reinstates a snapshot as the externally visible model (for
+// Value/LitValue queries after Minimize). The snapshot was a complete
+// consistent model when taken; auxiliary variables introduced afterwards
+// are irrelevant to callers and left as-is.
+func (s *Solver) restore(model []lbool) {
+	s.cancelUntil(0)
+	copy(s.assign, model)
+}

@@ -1,0 +1,188 @@
+package smt
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func countTrue(s *Solver, vs []Var) int {
+	c := 0
+	for _, v := range vs {
+		if s.Value(v) {
+			c++
+		}
+	}
+	return c
+}
+
+func litsOf(vs []Var) []Lit {
+	out := make([]Lit, len(vs))
+	for i, v := range vs {
+		out[i] = Pos(v)
+	}
+	return out
+}
+
+func TestAtMostEnforced(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		s := NewSolver()
+		vs := make([]Var, 6)
+		for i := range vs {
+			vs[i] = s.NewVar()
+		}
+		s.AddAtMost(litsOf(vs), k)
+		// Force k+1 variables true → UNSAT.
+		for i := 0; i <= k; i++ {
+			s.AddClause(Pos(vs[i]))
+		}
+		if s.Solve() {
+			t.Errorf("k=%d: forcing %d true should be UNSAT", k, k+1)
+		}
+	}
+}
+
+func TestAtMostAllowsK(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		s := NewSolver()
+		vs := make([]Var, 6)
+		for i := range vs {
+			vs[i] = s.NewVar()
+		}
+		s.AddAtMost(litsOf(vs), k)
+		for i := 0; i < k; i++ {
+			s.AddClause(Pos(vs[i]))
+		}
+		if !s.Solve() {
+			t.Errorf("k=%d: exactly k true should be SAT", k)
+		}
+		if countTrue(s, vs) > k {
+			t.Errorf("k=%d: model has %d true", k, countTrue(s, vs))
+		}
+	}
+}
+
+func TestAtLeastEnforced(t *testing.T) {
+	s := NewSolver()
+	vs := make([]Var, 5)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddAtLeast(litsOf(vs), 3)
+	if !s.Solve() {
+		t.Fatal("at-least-3 of 5 should be SAT")
+	}
+	if countTrue(s, vs) < 3 {
+		t.Errorf("model has only %d true", countTrue(s, vs))
+	}
+	// Force three false → UNSAT.
+	s.AddClause(Neg(vs[0]))
+	s.AddClause(Neg(vs[1]))
+	s.AddClause(Neg(vs[2]))
+	if s.Solve() {
+		t.Error("at-least-3 with 3 forced false should be UNSAT")
+	}
+}
+
+func TestExactly(t *testing.T) {
+	s := NewSolver()
+	vs := make([]Var, 7)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddExactly(litsOf(vs), 2)
+	if !s.Solve() {
+		t.Fatal("exactly-2 should be SAT")
+	}
+	if got := countTrue(s, vs); got != 2 {
+		t.Errorf("model has %d true, want exactly 2", got)
+	}
+}
+
+func TestXorConstraint(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.IntN(6)
+		parity := rng.IntN(2) == 1
+		s := NewSolver()
+		vs := make([]Var, n)
+		for i := range vs {
+			vs[i] = s.NewVar()
+		}
+		// Pin all but one variable randomly; the XOR forces the last.
+		want := parity
+		for i := 0; i+1 < n; i++ {
+			val := rng.IntN(2) == 1
+			if val {
+				s.AddClause(Pos(vs[i]))
+				want = !want
+			} else {
+				s.AddClause(Neg(vs[i]))
+			}
+		}
+		s.AddXor(litsOf(vs), parity)
+		if !s.Solve() {
+			t.Fatalf("XOR with free variable should be SAT (n=%d)", n)
+		}
+		if s.Value(vs[n-1]) != want {
+			t.Fatalf("forced XOR value wrong (n=%d parity=%v)", n, parity)
+		}
+	}
+}
+
+func TestXorUnsat(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddXor([]Lit{Pos(a), Pos(b)}, true)
+	s.AddClause(Pos(a))
+	s.AddClause(Pos(b))
+	if s.Solve() {
+		t.Error("a⊕b=1 with a=b=1 should be UNSAT")
+	}
+}
+
+func TestMinimizeFindsOptimum(t *testing.T) {
+	// Cover constraint: choose a subset of 5 sets covering 4 elements;
+	// minimal cover known to be 2.
+	s := NewSolver()
+	sets := make([]Var, 5)
+	for i := range sets {
+		sets[i] = s.NewVar()
+	}
+	// Element coverage clauses: e1 ∈ {0,1}, e2 ∈ {1,2}, e3 ∈ {3}, e4 ∈ {1,3,4}.
+	s.AddClause(Pos(sets[0]), Pos(sets[1]))
+	s.AddClause(Pos(sets[1]), Pos(sets[2]))
+	s.AddClause(Pos(sets[3]))
+	s.AddClause(Pos(sets[1]), Pos(sets[3]), Pos(sets[4]))
+	best, sat := s.Minimize(litsOf(sets))
+	if !sat {
+		t.Fatal("cover should be SAT")
+	}
+	if best != 2 {
+		t.Errorf("minimum cover = %d, want 2", best)
+	}
+	// Model must realize the optimum and satisfy the constraints.
+	if countTrue(s, sets) != 2 || !s.Value(sets[1]) || !s.Value(sets[3]) {
+		t.Errorf("optimal model wrong: %v %v %v %v %v",
+			s.Value(sets[0]), s.Value(sets[1]), s.Value(sets[2]), s.Value(sets[3]), s.Value(sets[4]))
+	}
+}
+
+func TestMinimizeZero(t *testing.T) {
+	s := NewSolver()
+	vs := []Var{s.NewVar(), s.NewVar()}
+	// No constraints: minimum is 0.
+	best, sat := s.Minimize(litsOf(vs))
+	if !sat || best != 0 {
+		t.Errorf("best=%d sat=%v, want 0 true", best, sat)
+	}
+}
+
+func TestMinimizeUnsat(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(Pos(v))
+	s.AddClause(Neg(v))
+	if _, sat := s.Minimize([]Lit{Pos(v)}); sat {
+		t.Error("Minimize on UNSAT formula should report unsat")
+	}
+}

@@ -1,0 +1,63 @@
+package smt
+
+import "testing"
+
+// FuzzCNFAgainstBruteForce cross-checks the CDCL solver against
+// exhaustive enumeration on small random formulas derived from the fuzz
+// input.
+func FuzzCNFAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0xFF, 0x7F, 0x00, 0x10, 0x20})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		nVars := int(data[0]%8) + 1
+		s := NewSolver()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		var cnf [][]Lit
+		var cl []Lit
+		for _, b := range data[1:] {
+			v := Var(int(b>>1) % nVars)
+			l := Pos(v)
+			if b&1 == 1 {
+				l = Neg(v)
+			}
+			cl = append(cl, l)
+			if len(cl) == 3 || b%7 == 0 {
+				cnf = append(cnf, cl)
+				s.AddClause(cl...)
+				cl = nil
+			}
+		}
+		if len(cl) > 0 {
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		if len(cnf) == 0 {
+			return
+		}
+		want := bruteForceSat(nVars, cnf)
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("solver=%v brute=%v for %v", got, want, cnf)
+		}
+		if got {
+			for _, c := range cnf {
+				ok := false
+				for _, l := range c {
+					if s.LitValue(l) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("model violates clause %v", c)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+// Package tanner represents the Tanner graph of a check matrix in the
+// flat edge-array layout used by the message-passing decoders.
+package tanner
+
+import "vegapunk/internal/gf2"
+
+// Graph is the bipartite check/variable adjacency of a check matrix,
+// with a flat edge numbering: edge e connects CheckOf[e] and VarOf[e].
+type Graph struct {
+	NumChecks, NumVars int
+	// CheckEdges[c] lists the edge ids incident to check c;
+	// VarEdges[v] lists the edge ids incident to variable v.
+	CheckEdges, VarEdges [][]int
+	CheckOf, VarOf       []int
+}
+
+// New builds the graph of a sparse check matrix.
+func New(h *gf2.SparseCols) *Graph {
+	g := &Graph{
+		NumChecks:  h.Rows(),
+		NumVars:    h.Cols(),
+		CheckEdges: make([][]int, h.Rows()),
+		VarEdges:   make([][]int, h.Cols()),
+	}
+	for v := 0; v < h.Cols(); v++ {
+		for _, c := range h.ColSupport(v) {
+			e := len(g.CheckOf)
+			g.CheckOf = append(g.CheckOf, c)
+			g.VarOf = append(g.VarOf, v)
+			g.CheckEdges[c] = append(g.CheckEdges[c], e)
+			g.VarEdges[v] = append(g.VarEdges[v], e)
+		}
+	}
+	return g
+}
+
+// NumEdges returns the number of Tanner graph edges (matrix nonzeros).
+func (g *Graph) NumEdges() int { return len(g.CheckOf) }
+
+// CheckDegree returns the degree of check c.
+func (g *Graph) CheckDegree(c int) int { return len(g.CheckEdges[c]) }
+
+// VarDegree returns the degree of variable v.
+func (g *Graph) VarDegree(v int) int { return len(g.VarEdges[v]) }

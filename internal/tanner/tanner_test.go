@@ -1,0 +1,57 @@
+package tanner
+
+import (
+	"testing"
+
+	"vegapunk/internal/gf2"
+)
+
+func TestGraphStructure(t *testing.T) {
+	h := gf2.SparseFromDense(gf2.FromRows([][]int{
+		{1, 1, 0},
+		{0, 1, 1},
+	}))
+	g := New(h)
+	if g.NumChecks != 2 || g.NumVars != 3 {
+		t.Fatalf("shape %d/%d", g.NumChecks, g.NumVars)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges %d, want 4", g.NumEdges())
+	}
+	if g.CheckDegree(0) != 2 || g.CheckDegree(1) != 2 {
+		t.Error("check degrees wrong")
+	}
+	if g.VarDegree(0) != 1 || g.VarDegree(1) != 2 || g.VarDegree(2) != 1 {
+		t.Error("var degrees wrong")
+	}
+	// Edge endpoints consistent both ways.
+	for e := 0; e < g.NumEdges(); e++ {
+		c, v := g.CheckOf[e], g.VarOf[e]
+		foundC, foundV := false, false
+		for _, e2 := range g.CheckEdges[c] {
+			if e2 == e {
+				foundC = true
+			}
+		}
+		for _, e2 := range g.VarEdges[v] {
+			if e2 == e {
+				foundV = true
+			}
+		}
+		if !foundC || !foundV {
+			t.Fatalf("edge %d not indexed from both sides", e)
+		}
+	}
+}
+
+func TestGraphEmptyColumns(t *testing.T) {
+	h := gf2.NewSparseCols(3, 4)
+	h.SetColSupport(1, []int{0, 2})
+	g := New(h)
+	if g.NumEdges() != 2 {
+		t.Errorf("edges %d", g.NumEdges())
+	}
+	if g.VarDegree(0) != 0 || g.VarDegree(3) != 0 {
+		t.Error("empty columns should have degree 0")
+	}
+}

@@ -1,0 +1,139 @@
+package window
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/core"
+	"vegapunk/internal/decouple"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/hier"
+)
+
+func hpPerRound(t *testing.T, p float64) *dem.Model {
+	t.Helper()
+	c, err := code.NewHPByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dem.Phenomenological(c, p, p)
+}
+
+func vegapunkFactory(t *testing.T) func(*dem.Model) core.Decoder {
+	t.Helper()
+	return func(st *dem.Model) core.Decoder {
+		dcp, err := decouple.Decouple(st.CheckMatrix(), decouple.Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewVegapunkFrom(st, dcp, hier.Config{})
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	per := hpPerRound(t, 0.001)
+	f := vegapunkFactory(t)
+	for _, cfg := range []Config{{0, 1}, {2, 0}, {2, 3}} {
+		if _, err := New(per, cfg, f); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDecodeStreamZeroSyndrome(t *testing.T) {
+	per := hpPerRound(t, 0.001)
+	r, err := New(per, Config{Window: 3, Commit: 1}, vegapunkFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := r.DecodeStream(gf2.NewVec(6*per.NumDet), 6)
+	if !pred.IsZero() {
+		t.Error("zero syndrome produced observable flips")
+	}
+}
+
+func TestDecodeStreamSingleDataError(t *testing.T) {
+	// One isolated data error anywhere in the stream must be corrected
+	// without a logical flip mismatch.
+	per := hpPerRound(t, 0.001)
+	r, err := New(per, Config{Window: 3, Commit: 1}, vegapunkFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 6
+	full := dem.SpaceTime(per, rounds)
+	rng := rand.New(rand.NewPCG(2, 2))
+	ok := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		e := gf2.NewVec(full.NumMech())
+		e.Set(rng.IntN(full.NumMech()), true)
+		pred := r.DecodeStream(full.Syndrome(e), rounds)
+		if pred.Equal(full.Observables(e)) {
+			ok++
+		}
+	}
+	if ok < trials-2 {
+		t.Errorf("single-error stream decoding failed %d/%d times", trials-ok, trials)
+	}
+}
+
+func TestFullWindowEqualsBatch(t *testing.T) {
+	// Window = Commit = rounds degenerates to one batch decode; the
+	// stream result must match decoding the batch model directly.
+	per := hpPerRound(t, 0.004)
+	const rounds = 4
+	full := dem.SpaceTime(per, rounds)
+	dcp, err := decouple.Decouple(full.CheckMatrix(), decouple.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := core.NewVegapunkFrom(full, dcp, hier.Config{})
+	r, err := New(per, Config{Window: rounds, Commit: rounds}, func(st *dem.Model) core.Decoder {
+		return core.NewVegapunkFrom(st, dcp, hier.Config{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 10; i++ {
+		e := full.Sample(rng)
+		syn := full.Syndrome(e)
+		est, _ := batch.Decode(syn)
+		want := full.Observables(est)
+		got := r.DecodeStream(syn, rounds)
+		if !got.Equal(want) {
+			t.Fatal("full-window stream disagrees with batch decode")
+		}
+	}
+}
+
+func TestRunMemoryReasonableLER(t *testing.T) {
+	per := hpPerRound(t, 0.003)
+	r, err := New(per, Config{Window: 4, Commit: 2}, vegapunkFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.RunMemory(8, 60, 7, 2)
+	if res.Shots != 60 {
+		t.Errorf("shots %d", res.Shots)
+	}
+	// At p = 0.3% on [[162,2,4]] over 8 rounds the sliding window must
+	// keep the LER well below coin-flip.
+	if res.LER > 0.3 {
+		t.Errorf("window LER %v implausibly high", res.LER)
+	}
+}
+
+func TestWindowModelShape(t *testing.T) {
+	per := hpPerRound(t, 0.001)
+	r, err := New(per, Config{Window: 5, Commit: 2}, vegapunkFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WindowModel().NumDet != 5*per.NumDet {
+		t.Error("window model shape wrong")
+	}
+}
