@@ -132,6 +132,33 @@ func BenchmarkBPOSDDecodeBB72(b *testing.B) {
 	}
 }
 
+// BenchmarkMemoryExperimentBB72 is the end-to-end wall-clock benchmark
+// of the acceptance criterion: a multi-round BB-code memory experiment
+// decoded by Vegapunk, exercising the full sample → syndrome → decode →
+// observable pipeline per round.
+func BenchmarkMemoryExperimentBB72(b *testing.B) {
+	c, err := BBCode(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := CircuitLevelNoise(c, 0.003)
+	dcp, err := Decouple(model.CheckMatrix(), DecoupleOptions{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() Decoder { return NewVegapunkWith(model, dcp, VegapunkOptions{}) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunMemory(model, factory, MemoryConfig{
+			Rounds:  6,
+			Shots:   64,
+			Workers: runtime.GOMAXPROCS(0),
+			Seed:    2025,
+		})
+	}
+}
+
 func BenchmarkDecoupleBB72(b *testing.B) {
 	c, err := BBCode(0)
 	if err != nil {

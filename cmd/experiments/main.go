@@ -7,6 +7,10 @@
 //	experiments -run all             # everything, in paper order
 //	experiments -list                # show available ids
 //	experiments -run table2 -quality full -workers 16
+//	experiments -run fig10 -cpuprofile cpu.out -memprofile mem.out
+//
+// The profile outputs are standard pprof files; inspect them with
+// `go tool pprof cpu.out`.
 package main
 
 import (
@@ -14,18 +18,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vegapunk/internal/exp"
 )
 
-func main() {
+// main delegates to run so that deferred cleanup (notably stopping the
+// CPU profile) happens before os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		run     = flag.String("run", "", "experiment id (fig2, fig3a, fig3b, table1..table4, fig10..fig14b) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		quality = flag.String("quality", "quick", "Monte-Carlo budget: quick | normal | full")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel shot workers")
-		seed    = flag.Uint64("seed", 2025, "random seed")
+		run        = flag.String("run", "", "experiment id (fig2, fig3a, fig3b, table1..table4, fig10..fig14b) or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		quality    = flag.String("quality", "quick", "Monte-Carlo budget: quick | normal | full")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel shot workers")
+		seed       = flag.Uint64("seed", 2025, "random seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -35,7 +46,7 @@ func main() {
 			fmt.Printf("  %-8s %s\n", r.ID, r.Title)
 		}
 		if *run == "" {
-			os.Exit(0)
+			return 0
 		}
 	}
 
@@ -49,8 +60,23 @@ func main() {
 		q = exp.Full
 	default:
 		fmt.Fprintf(os.Stderr, "unknown quality %q\n", *quality)
-		os.Exit(2)
+		return 2
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := exp.Config{Out: os.Stdout, Quality: q, Workers: *workers, Seed: *seed}
 	ws := exp.NewWorkspace()
 
@@ -61,16 +87,32 @@ func main() {
 		r, ok := exp.ByID(*run)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
-			os.Exit(2)
+			return 2
 		}
 		runners = []exp.Runner{r}
 	}
+	exitCode := 0
 	for _, r := range runners {
 		t0 := time.Now()
 		if err := r.Run(cfg, ws); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
-			os.Exit(1)
+			exitCode = 1
+			break
 		}
 		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		f.Close()
+	}
+	return exitCode
 }

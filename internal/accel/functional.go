@@ -16,8 +16,13 @@ import (
 // equivalence loop of the co-design.
 type Functional struct {
 	dec *decouple.Decoupling
-	// transformRows are the row supports of T (transformation unit ROM).
-	transformRows *gf2.SparseRows
+	// t holds the row supports of T (transformation unit ROM), a holds
+	// the column supports of A (HDU candidate ROMs), and blocks the
+	// per-group diagonal block columns (GDC ROMs) — all in the flat
+	// compressed layout of the hardware's sparse storage (§5.2).
+	t      *gf2.CSR
+	a      *gf2.CSC
+	blocks []*gf2.CSC
 	// weights in D' column order, pre-split per unit regfile.
 	wIdent, wB [][]float64
 	wA         []float64
@@ -35,11 +40,13 @@ func NewFunctional(dec *decouple.Decoupling, originalWeights []float64, m, inner
 	}
 	w := dec.PermuteWeights(originalWeights)
 	f := &Functional{
-		dec:           dec,
-		transformRows: gf2.SparseRowsFromDense(dec.T),
-		M:             m,
-		Inner:         inner,
-		wA:            w[dec.K*dec.ND:],
+		dec:    dec,
+		t:      dec.TCSR(),
+		a:      dec.ACSC(),
+		blocks: dec.BlocksCSC(),
+		M:      m,
+		Inner:  inner,
+		wA:     w[dec.K*dec.ND:],
 	}
 	for g := 0; g < dec.K; g++ {
 		f.wIdent = append(f.wIdent, w[g*dec.ND:g*dec.ND+dec.MD])
@@ -51,7 +58,7 @@ func NewFunctional(dec *decouple.Decoupling, originalWeights []float64, m, inner
 // transformUnit computes s' = T·s via per-row parity (XOR reduction
 // trees in hardware).
 func (f *Functional) transformUnit(s gf2.Vec) gf2.Vec {
-	return f.transformRows.MulVec(s)
+	return f.t.MulVec(s)
 }
 
 // incrementalUpdateUnit is the syndrome incremental update unit: a
@@ -67,9 +74,9 @@ func newIncrementalUpdateUnit(bits int) *incrementalUpdateUnit {
 
 func (u *incrementalUpdateUnit) load(v gf2.Vec) { u.regfile.CopyFrom(v) }
 
-func (u *incrementalUpdateUnit) sparseXOR(rows []int) {
+func (u *incrementalUpdateUnit) sparseXOR(rows []int32) {
 	for _, r := range rows {
-		u.regfile.Flip(r)
+		u.regfile.Flip(int(r))
 	}
 }
 
@@ -123,16 +130,13 @@ type gdcResult struct {
 // compute unit scores them with an adder tree, and the comparator tree
 // picks the best flip per inner round.
 func (f *Functional) greedyDecodingCore(g int, sl gf2.Vec) gdcResult {
-	b := f.dec.Blocks[g]
+	b := f.blocks[g]
 	nB := b.Cols()
 	u := newIncrementalUpdateUnit(f.dec.MD)
 	u.load(sl)
 	gv := gf2.NewVec(nB)
 	// LLR compute unit: objective of the current (f, g) pair.
-	obj := 0.0
-	for _, r := range sl.Ones() {
-		obj += f.wIdent[g][r]
-	}
+	obj := sl.WeightSum(f.wIdent[g])
 	for round := 0; round < f.Inner; round++ {
 		deltas := make([]float64, nB)
 		valid := make([]bool, nB)
@@ -142,8 +146,8 @@ func (f *Functional) greedyDecodingCore(g int, sl gf2.Vec) gdcResult {
 			}
 			valid[bit] = true
 			d := f.wB[g][bit]
-			for _, r := range b.ColSupport(bit) {
-				if u.regfile.Get(r) {
+			for _, r := range b.ColSpan(bit) {
+				if u.regfile.Get(int(r)) {
 					d -= f.wIdent[g][r]
 				} else {
 					d += f.wIdent[g][r]
@@ -156,7 +160,7 @@ func (f *Functional) greedyDecodingCore(g int, sl gf2.Vec) gdcResult {
 			break
 		}
 		gv.Set(best, true)
-		u.sparseXOR(b.ColSupport(best))
+		u.sparseXOR(b.ColSpan(best))
 		obj += delta
 	}
 	return gdcResult{f: u.regfile.Clone(), g: gv, obj: obj}
@@ -189,10 +193,10 @@ func (f *Functional) Decode(syndrome gf2.Vec) gf2.Vec {
 			}
 			valid[i] = true
 			d := f.wA[i]
-			sup := dec.A.ColSupport(i)
+			sup := f.a.ColSpan(i)
 			done := map[int]bool{}
-			for _, r := range sup {
-				g := r / dec.MD
+			for _, r32 := range sup {
+				g := int(r32) / dec.MD
 				if done[g] {
 					continue
 				}
@@ -201,8 +205,8 @@ func (f *Functional) Decode(syndrome gf2.Vec) gf2.Vec {
 				// touched rows flipped.
 				local := slBest.regfile.Slice(g*dec.MD, (g+1)*dec.MD)
 				for _, r2 := range sup {
-					if r2/dec.MD == g {
-						local.Flip(r2 - g*dec.MD)
+					if int(r2)/dec.MD == g {
+						local.Flip(int(r2) - g*dec.MD)
 					}
 				}
 				ns := f.greedyDecodingCore(g, local)
@@ -217,11 +221,11 @@ func (f *Functional) Decode(syndrome gf2.Vec) gf2.Vec {
 			break
 		}
 		rBest.Set(best, true)
-		sup := dec.A.ColSupport(best)
+		sup := f.a.ColSpan(best)
 		slBest.sparseXOR(sup)
 		done := map[int]bool{}
-		for _, r := range sup {
-			g := r / dec.MD
+		for _, r32 := range sup {
+			g := int(r32) / dec.MD
 			if done[g] {
 				continue
 			}

@@ -97,7 +97,7 @@ func TestIncrementalUpdateUnit(t *testing.T) {
 	u := newIncrementalUpdateUnit(8)
 	v := gf2.VecFromSupport(8, []int{1, 3})
 	u.load(v)
-	u.sparseXOR([]int{3, 5})
+	u.sparseXOR([]int32{3, 5})
 	want := gf2.VecFromSupport(8, []int{1, 5})
 	if !u.regfile.Equal(want) {
 		t.Errorf("regfile %v, want %v", u.regfile, want)

@@ -60,13 +60,14 @@ type Config struct {
 type Decoder struct {
 	cfg   Config
 	g     *tanner.Graph
-	h     *gf2.SparseCols
+	h     *gf2.CSC
 	prior []float64 // per-variable prior LLR
 
 	// message buffers, indexed by edge
 	varToCheck, checkToVar []float64
 	posterior              []float64
 	hard                   gf2.Vec
+	syn                    gf2.Vec // syndrome-check scratch
 }
 
 // New builds a decoder for the sparse check matrix h with per-variable
@@ -82,12 +83,13 @@ func New(h *gf2.SparseCols, priorLLR []float64, cfg Config) *Decoder {
 	return &Decoder{
 		cfg:        cfg,
 		g:          g,
-		h:          h,
+		h:          gf2.CSCFromSparse(h),
 		prior:      priorLLR,
 		varToCheck: make([]float64, g.NumEdges()),
 		checkToVar: make([]float64, g.NumEdges()),
 		posterior:  make([]float64, g.NumVars),
 		hard:       gf2.NewVec(g.NumVars),
+		syn:        gf2.NewVec(g.NumChecks),
 	}
 }
 
@@ -98,6 +100,7 @@ func (d *Decoder) Clone() *Decoder {
 	c.checkToVar = make([]float64, len(d.checkToVar))
 	c.posterior = make([]float64, len(d.posterior))
 	c.hard = gf2.NewVec(d.g.NumVars)
+	c.syn = gf2.NewVec(d.g.NumChecks)
 	return &c
 }
 
@@ -123,7 +126,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 	// Initialize variable-to-check messages with priors.
 	for v := 0; v < g.NumVars; v++ {
 		p := d.prior[v]
-		for _, e := range g.VarEdges[v] {
+		for _, e := range g.VarEdges(v) {
 			d.varToCheck[e] = p
 		}
 	}
@@ -158,10 +161,10 @@ func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 func (d *Decoder) layeredSweep(syndrome gf2.Vec) {
 	g := d.g
 	for c := 0; c < g.NumChecks; c++ {
-		edges := g.CheckEdges[c]
+		edges := g.CheckEdges(c)
 		// Fresh variable-to-check messages.
 		min1, min2 := math.Inf(1), math.Inf(1)
-		min1Edge := -1
+		min1Edge := int32(-1)
 		negCount := 0
 		for _, e := range edges {
 			m := d.posterior[g.VarOf[e]] - d.checkToVar[e]
@@ -207,7 +210,7 @@ func (d *Decoder) checkUpdate(syndrome gf2.Vec) {
 	switch d.cfg.Variant {
 	case SumProduct:
 		for c := 0; c < g.NumChecks; c++ {
-			edges := g.CheckEdges[c]
+			edges := g.CheckEdges(c)
 			sign := 1.0
 			if syndrome.Get(c) {
 				sign = -1.0
@@ -247,10 +250,10 @@ func (d *Decoder) checkUpdate(syndrome gf2.Vec) {
 		}
 	default: // MinSum
 		for c := 0; c < g.NumChecks; c++ {
-			edges := g.CheckEdges[c]
+			edges := g.CheckEdges(c)
 			// Track the two smallest magnitudes and the total sign.
 			min1, min2 := math.Inf(1), math.Inf(1)
-			min1Edge := -1
+			min1Edge := int32(-1)
 			negCount := 0
 			for _, e := range edges {
 				m := d.varToCheck[e]
@@ -293,11 +296,11 @@ func (d *Decoder) varUpdate() {
 	g := d.g
 	for v := 0; v < g.NumVars; v++ {
 		sum := d.prior[v]
-		for _, e := range g.VarEdges[v] {
+		for _, e := range g.VarEdges(v) {
 			sum += d.checkToVar[e]
 		}
 		d.posterior[v] = sum
-		for _, e := range g.VarEdges[v] {
+		for _, e := range g.VarEdges(v) {
 			d.varToCheck[e] = sum - d.checkToVar[e]
 		}
 	}
@@ -311,5 +314,6 @@ func (d *Decoder) hardDecision(syndrome gf2.Vec) bool {
 			d.hard.Set(v, true)
 		}
 	}
-	return d.h.MulVec(d.hard).Equal(syndrome)
+	d.h.MulVecInto(d.syn, d.hard)
+	return d.syn.Equal(syndrome)
 }

@@ -1,0 +1,240 @@
+package bp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+// refDecoder is a slice-of-slices reference implementation of the same
+// normalized-min-sum BP the production decoder runs over flat CSR edge
+// spans. It mirrors the update order of the flat kernels exactly
+// (column-major edge numbering, checks visited in ascending order), so
+// every floating-point operation happens in the same sequence and the
+// decodes must be bit-identical.
+type refDecoder struct {
+	cfg        Config
+	h          *gf2.SparseCols
+	prior      []float64
+	checkEdges [][]int // per-check incident edge ids
+	varEdges   [][]int // per-variable incident edge ids
+	varOf      []int
+	v2c, c2v   []float64
+	post       []float64
+}
+
+func newRef(h *gf2.SparseCols, prior []float64, cfg Config) *refDecoder {
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = h.Cols()
+	}
+	if cfg.ScaleFactor == 0 {
+		cfg.ScaleFactor = 0.75
+	}
+	r := &refDecoder{
+		cfg:        cfg,
+		h:          h,
+		prior:      prior,
+		checkEdges: make([][]int, h.Rows()),
+		varEdges:   make([][]int, h.Cols()),
+	}
+	e := 0
+	for v := 0; v < h.Cols(); v++ {
+		for _, c := range h.ColSupport(v) {
+			r.checkEdges[c] = append(r.checkEdges[c], e)
+			r.varEdges[v] = append(r.varEdges[v], e)
+			r.varOf = append(r.varOf, v)
+			e++
+		}
+	}
+	r.v2c = make([]float64, e)
+	r.c2v = make([]float64, e)
+	r.post = make([]float64, h.Cols())
+	return r
+}
+
+func (r *refDecoder) decode(s gf2.Vec) (gf2.Vec, []float64, bool, int) {
+	for v := range r.varEdges {
+		for _, e := range r.varEdges[v] {
+			r.v2c[e] = r.prior[v]
+		}
+	}
+	if r.cfg.Schedule == Layered {
+		copy(r.post, r.prior)
+		for i := range r.c2v {
+			r.c2v[i] = 0
+		}
+	}
+	hard := gf2.NewVec(r.h.Cols())
+	converged := false
+	iters := 0
+	for it := 1; it <= r.cfg.MaxIters; it++ {
+		iters = it
+		if r.cfg.Schedule == Layered {
+			r.layered(s)
+		} else {
+			r.checkUpdate(s)
+			r.varUpdate()
+		}
+		hard.Zero()
+		for v := range r.post {
+			if r.post[v] < 0 {
+				hard.Set(v, true)
+			}
+		}
+		if r.h.MulVec(hard).Equal(s) {
+			converged = true
+			break
+		}
+	}
+	return hard, r.post, converged, iters
+}
+
+func (r *refDecoder) checkUpdate(s gf2.Vec) {
+	for c := range r.checkEdges {
+		edges := r.checkEdges[c]
+		min1, min2 := math.Inf(1), math.Inf(1)
+		min1Edge := -1
+		negCount := 0
+		for _, e := range edges {
+			m := r.v2c[e]
+			a := math.Abs(m)
+			if m < 0 {
+				negCount++
+			}
+			if a < min1 {
+				min2 = min1
+				min1 = a
+				min1Edge = e
+			} else if a < min2 {
+				min2 = a
+			}
+		}
+		baseSign := 1.0
+		if s.Get(c) {
+			baseSign = -1.0
+		}
+		if negCount%2 == 1 {
+			baseSign = -baseSign
+		}
+		for _, e := range edges {
+			mag := min1
+			if e == min1Edge {
+				mag = min2
+			}
+			sgn := baseSign
+			if r.v2c[e] < 0 {
+				sgn = -sgn
+			}
+			r.c2v[e] = r.cfg.ScaleFactor * sgn * mag
+		}
+	}
+}
+
+func (r *refDecoder) varUpdate() {
+	for v := range r.varEdges {
+		sum := r.prior[v]
+		for _, e := range r.varEdges[v] {
+			sum += r.c2v[e]
+		}
+		r.post[v] = sum
+		for _, e := range r.varEdges[v] {
+			r.v2c[e] = sum - r.c2v[e]
+		}
+	}
+}
+
+func (r *refDecoder) layered(s gf2.Vec) {
+	for c := range r.checkEdges {
+		edges := r.checkEdges[c]
+		min1, min2 := math.Inf(1), math.Inf(1)
+		min1Edge := -1
+		negCount := 0
+		for _, e := range edges {
+			m := r.post[r.varOf[e]] - r.c2v[e]
+			r.v2c[e] = m
+			a := math.Abs(m)
+			if m < 0 {
+				negCount++
+			}
+			if a < min1 {
+				min2 = min1
+				min1 = a
+				min1Edge = e
+			} else if a < min2 {
+				min2 = a
+			}
+		}
+		baseSign := 1.0
+		if s.Get(c) {
+			baseSign = -1.0
+		}
+		if negCount%2 == 1 {
+			baseSign = -baseSign
+		}
+		for _, e := range edges {
+			mag := min1
+			if e == min1Edge {
+				mag = min2
+			}
+			sgn := baseSign
+			if r.v2c[e] < 0 {
+				sgn = -sgn
+			}
+			nm := r.cfg.ScaleFactor * sgn * mag
+			r.post[r.varOf[e]] += nm - r.c2v[e]
+			r.c2v[e] = nm
+		}
+	}
+}
+
+func equivModels(t *testing.T) []*dem.Model {
+	t.Helper()
+	bb, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := code.NewHPByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*dem.Model{
+		dem.CircuitLevel(bb, 0.003),
+		dem.Phenomenological(hp, 0.003, 0.003),
+	}
+}
+
+// TestBPEquivalentToSliceOfSlices pins the flat-span decoder to the
+// slice-of-slices reference: identical hard decisions, posteriors,
+// convergence flags, and iteration counts on sampled syndromes.
+func TestBPEquivalentToSliceOfSlices(t *testing.T) {
+	for _, model := range equivModels(t) {
+		for _, sched := range []Schedule{Flooding, Layered} {
+			cfg := Config{MaxIters: 30, Schedule: sched}
+			d := New(model.Mech, model.LLRs(), cfg)
+			ref := newRef(model.Mech, model.LLRs(), cfg)
+			rng := rand.New(rand.NewPCG(42, 7))
+			for shot := 0; shot < 25; shot++ {
+				syn := model.Syndrome(model.Sample(rng))
+				got := d.Decode(syn)
+				wantE, wantPost, wantConv, wantIters := ref.decode(syn)
+				if got.Converged != wantConv || got.Iters != wantIters {
+					t.Fatalf("%s/%v shot %d: converged/iters %v/%d, want %v/%d",
+						model.Name, sched, shot, got.Converged, got.Iters, wantConv, wantIters)
+				}
+				if !got.Error.Equal(wantE) {
+					t.Fatalf("%s/%v shot %d: hard decision differs", model.Name, sched, shot)
+				}
+				for v := range wantPost {
+					if got.Posterior[v] != wantPost[v] {
+						t.Fatalf("%s/%v shot %d: posterior[%d] = %v, want %v",
+							model.Name, sched, shot, v, got.Posterior[v], wantPost[v])
+					}
+				}
+			}
+		}
+	}
+}

@@ -21,11 +21,21 @@ type Config struct {
 	Variant bp.Variant
 }
 
-// Decoder is a BPGD decoder bound to one check matrix.
+// Decoder is a BPGD decoder bound to one check matrix. All working
+// storage — including the inner BP decoder, whose prior slice is
+// mutated in place as variables are decimated — is owned by the decoder
+// and reused across decodes. Not safe for concurrent use.
 type Decoder struct {
 	cfg   Config
-	h     *gf2.SparseCols
+	h     *gf2.CSC
 	prior []float64
+
+	// Decode scratch, reused across calls.
+	inner  *bp.Decoder // reads work as its prior on every Decode
+	work   []float64   // priors with decimation overrides
+	frozen []bool
+	e      gf2.Vec // last-resort hard decision (owned until next Decode)
+	syn    gf2.Vec
 }
 
 // New builds a BPGD decoder.
@@ -36,11 +46,22 @@ func New(h *gf2.SparseCols, priorLLR []float64, cfg Config) *Decoder {
 	if cfg.ItersPerRound <= 0 {
 		cfg.ItersPerRound = 100
 	}
-	return &Decoder{cfg: cfg, h: h, prior: priorLLR}
+	work := make([]float64, len(priorLLR))
+	return &Decoder{
+		cfg:    cfg,
+		h:      gf2.CSCFromSparse(h),
+		prior:  priorLLR,
+		inner:  bp.New(h, work, bp.Config{MaxIters: cfg.ItersPerRound, Variant: cfg.Variant}),
+		work:   work,
+		frozen: make([]bool, h.Cols()),
+		e:      gf2.NewVec(h.Cols()),
+		syn:    gf2.NewVec(h.Rows()),
+	}
 }
 
 // Result reports a BPGD decode.
 type Result struct {
+	// Error is owned by the decoder and valid until the next Decode call.
 	Error gf2.Vec
 	// Converged reports whether the final hard decision satisfies the
 	// syndrome.
@@ -55,25 +76,25 @@ const decimatedLLR = 50.0
 
 // Decode runs guided decimation against the syndrome.
 func (d *Decoder) Decode(syndrome gf2.Vec) Result {
-	prior := make([]float64, len(d.prior))
-	copy(prior, d.prior)
-	frozen := make([]bool, d.h.Cols())
+	copy(d.work, d.prior)
+	for v := range d.frozen {
+		d.frozen[v] = false
+	}
 	res := Result{}
 
 	for round := 1; round <= d.cfg.MaxRounds; round++ {
 		res.Rounds = round
-		dec := bp.New(d.h, prior, bp.Config{MaxIters: d.cfg.ItersPerRound, Variant: d.cfg.Variant})
-		r := dec.Decode(syndrome)
+		r := d.inner.Decode(syndrome)
 		res.TotalIters += r.Iters
 		if r.Converged {
-			res.Error = r.Error.Clone()
+			res.Error = r.Error
 			res.Converged = true
 			return res
 		}
 		// Freeze the most confident undecided variable.
 		best, bestMag := -1, -1.0
 		for v := 0; v < d.h.Cols(); v++ {
-			if frozen[v] {
+			if d.frozen[v] {
 				continue
 			}
 			if mag := math.Abs(r.Posterior[v]); mag > bestMag {
@@ -82,24 +103,25 @@ func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 		}
 		if best < 0 {
 			// Everything frozen without convergence.
-			res.Error = r.Error.Clone()
+			res.Error = r.Error
 			return res
 		}
-		frozen[best] = true
+		d.frozen[best] = true
 		if r.Posterior[best] < 0 {
-			prior[best] = -decimatedLLR
+			d.work[best] = -decimatedLLR
 		} else {
-			prior[best] = decimatedLLR
+			d.work[best] = decimatedLLR
 		}
 	}
 	// Out of rounds: last-resort hard decision from priors.
-	e := gf2.NewVec(d.h.Cols())
-	for v, p := range prior {
+	d.e.Zero()
+	for v, p := range d.work {
 		if p < 0 {
-			e.Set(v, true)
+			d.e.Set(v, true)
 		}
 	}
-	res.Error = e
-	res.Converged = d.h.MulVec(e).Equal(syndrome)
+	res.Error = d.e
+	d.h.MulVecInto(d.syn, d.e)
+	res.Converged = d.syn.Equal(syndrome)
 	return res
 }

@@ -33,7 +33,11 @@ type Stats struct {
 	LSDMaxCluster int
 }
 
-// Decoder is the uniform syndrome-decoding interface.
+// Decoder is the uniform syndrome-decoding interface. The returned
+// vector is owned by the decoder and only valid until the next Decode
+// call on the same instance (every underlying decoder reuses its result
+// buffer); callers that need to retain it must Clone it. Instances are
+// not safe for concurrent use — build one per goroutine via a Factory.
 type Decoder interface {
 	// Name identifies the decoder in experiment output.
 	Name() string
@@ -118,7 +122,7 @@ func (b *bpDecoder) Name() string { return b.name }
 
 func (b *bpDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)
-	return r.Error.Clone(), Stats{BPIters: r.Iters, BPConverged: r.Converged}
+	return r.Error, Stats{BPIters: r.Iters, BPConverged: r.Converged}
 }
 
 // ---- BP+OSD ----

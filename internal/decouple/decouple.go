@@ -20,6 +20,7 @@ package decouple
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vegapunk/internal/gf2"
 )
@@ -42,6 +43,46 @@ type Decoupling struct {
 	Blocks []*gf2.SparseCols
 	// A is the off-diagonal sparse matrix (M × NA).
 	A *gf2.SparseCols
+
+	// Cached flat views of the sparse parts, built lazily on first use
+	// (safe for concurrent readers). The online decoder and the
+	// accelerator models iterate these contiguous spans instead of the
+	// slice-of-slices supports.
+	flatOnce sync.Once
+	aCSC     *gf2.CSC
+	blockCSC []*gf2.CSC
+	tCSR     *gf2.CSR
+}
+
+// buildFlat materializes the cached CSC/CSR views.
+func (d *Decoupling) buildFlat() {
+	d.flatOnce.Do(func() {
+		d.aCSC = gf2.CSCFromSparse(d.A)
+		d.blockCSC = make([]*gf2.CSC, len(d.Blocks))
+		for g, b := range d.Blocks {
+			d.blockCSC[g] = gf2.CSCFromSparse(b)
+		}
+		d.tCSR = gf2.CSRFromDense(d.T)
+	})
+}
+
+// ACSC returns the flat column view of A.
+func (d *Decoupling) ACSC() *gf2.CSC {
+	d.buildFlat()
+	return d.aCSC
+}
+
+// BlocksCSC returns the flat column views of the block B parts.
+func (d *Decoupling) BlocksCSC() []*gf2.CSC {
+	d.buildFlat()
+	return d.blockCSC
+}
+
+// TCSR returns the flat row view of the transformation T (the
+// transformation unit's per-row XOR reduction ROM).
+func (d *Decoupling) TCSR() *gf2.CSR {
+	d.buildFlat()
+	return d.tCSR
 }
 
 // Sparsity returns the maximum column weight of A and of the block B
@@ -125,6 +166,11 @@ func (d *Decoupling) TransformSyndrome(s gf2.Vec) gf2.Vec {
 	return d.T.MulVec(s)
 }
 
+// TransformSyndromeInto computes s' = T·s into out without allocating.
+func (d *Decoupling) TransformSyndromeInto(out, s gf2.Vec) {
+	d.T.MulVecInto(out, s)
+}
+
 // PermuteWeights maps per-column objective weights of D into D' column
 // order: w'[j] = w[ColOrder[j]].
 func (d *Decoupling) PermuteWeights(w []float64) []float64 {
@@ -135,15 +181,30 @@ func (d *Decoupling) PermuteWeights(w []float64) []float64 {
 // order (the paper's final e = P·e').
 func (d *Decoupling) RecoverError(ePrime gf2.Vec) gf2.Vec {
 	out := gf2.NewVec(d.N)
+	d.RecoverErrorInto(out, ePrime)
+	return out
+}
+
+// RecoverErrorInto is the allocation-free variant of RecoverError.
+func (d *Decoupling) RecoverErrorInto(out, ePrime gf2.Vec) {
+	out.Zero()
 	for j := 0; j < d.N; j++ {
 		if ePrime.Get(j) {
 			out.Set(d.ColOrder[j], true)
 		}
 	}
-	return out
 }
 
 // BlockSyndrome slices the transformed left-part syndrome for block g.
 func (d *Decoupling) BlockSyndrome(sl gf2.Vec, g int) gf2.Vec {
 	return sl.Slice(g*d.MD, (g+1)*d.MD)
+}
+
+// BlockSyndromeInto copies block g's slice of the transformed left-part
+// syndrome into dst (length MD) without allocating.
+func (d *Decoupling) BlockSyndromeInto(dst, sl gf2.Vec, g int) {
+	base := g * d.MD
+	for i := 0; i < d.MD; i++ {
+		dst.Set(i, sl.Get(base+i))
+	}
 }

@@ -77,20 +77,35 @@ func (m *Model) LLRs() []float64 {
 // Sample draws one round of mechanism firings.
 func (m *Model) Sample(rng *rand.Rand) gf2.Vec {
 	e := gf2.NewVec(m.NumMech())
+	m.SampleInto(e, rng)
+	return e
+}
+
+// SampleInto draws one round of mechanism firings into e (length
+// NumMech), allocation-free.
+func (m *Model) SampleInto(e gf2.Vec, rng *rand.Rand) {
+	e.Zero()
 	for j, p := range m.Prior {
 		if rng.Float64() < p {
 			e.Set(j, true)
 		}
 	}
-	return e
 }
 
 // Syndrome returns the detector flips caused by a mechanism vector.
 func (m *Model) Syndrome(mechs gf2.Vec) gf2.Vec { return m.Mech.MulVec(mechs) }
 
+// SyndromeInto writes the detector flips caused by a mechanism vector
+// into s (length NumDet), allocation-free.
+func (m *Model) SyndromeInto(s, mechs gf2.Vec) { m.Mech.MulVecInto(s, mechs) }
+
 // Observables returns the logical observable flips caused by a mechanism
 // vector.
 func (m *Model) Observables(mechs gf2.Vec) gf2.Vec { return m.Obs.MulVec(mechs) }
+
+// ObservablesInto writes the logical observable flips caused by a
+// mechanism vector into o (length NumObs), allocation-free.
+func (m *Model) ObservablesInto(o, mechs gf2.Vec) { m.Obs.MulVecInto(o, mechs) }
 
 // Scale returns a copy of the model with every prior multiplied by
 // factor (clamped below 0.5), used for physical-error-rate sweeps.

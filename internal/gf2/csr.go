@@ -1,0 +1,239 @@
+package gf2
+
+import "math/bits"
+
+// Flat compressed sparse layouts. CSC and CSR store one indices array and
+// one offsets array per axis — the hardware-friendly "sparse matrix table
+// + non-zero index table" format of the paper's §5.2 — instead of the
+// pointer-per-column [][]int layout of SparseCols/SparseRows. They are
+// built once (from a SparseCols, SparseRows or Dense) and are immutable
+// afterwards, so hot decoder loops iterate contiguous int32 spans with no
+// pointer chasing and no per-call allocation.
+
+// CSC is a column-major flat sparse GF(2) matrix: the row indices of
+// column j occupy indices[offsets[j]:offsets[j+1]], sorted ascending.
+type CSC struct {
+	rows, cols int
+	offsets    []int32 // len cols+1
+	indices    []int32 // len NNZ
+}
+
+// CSCFromSparse flattens a SparseCols into CSC form.
+func CSCFromSparse(s *SparseCols) *CSC {
+	c := &CSC{
+		rows:    s.rows,
+		cols:    s.cols,
+		offsets: make([]int32, s.cols+1),
+		indices: make([]int32, 0, s.NNZ()),
+	}
+	for j, col := range s.col {
+		for _, i := range col {
+			c.indices = append(c.indices, int32(i))
+		}
+		c.offsets[j+1] = int32(len(c.indices))
+	}
+	return c
+}
+
+// CSCFromDense converts a dense matrix to CSC form via SparseFromDense's
+// word scan.
+func CSCFromDense(m *Dense) *CSC { return CSCFromSparse(SparseFromDense(m)) }
+
+// Rows returns the number of rows.
+func (c *CSC) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *CSC) Cols() int { return c.cols }
+
+// NNZ returns the number of nonzeros.
+func (c *CSC) NNZ() int { return len(c.indices) }
+
+// ColSpan returns the sorted nonzero row indices of column j as a
+// subslice of the shared indices array: no allocation, must not be
+// modified.
+func (c *CSC) ColSpan(j int) []int32 {
+	return c.indices[c.offsets[j]:c.offsets[j+1]]
+}
+
+// ColWeight returns the number of nonzeros in column j.
+func (c *CSC) ColWeight(j int) int { return int(c.offsets[j+1] - c.offsets[j]) }
+
+// MaxColWeight returns the maximum column weight.
+func (c *CSC) MaxColWeight() int {
+	best := 0
+	for j := 0; j < c.cols; j++ {
+		if w := c.ColWeight(j); w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// XorColInto flips the bits of v at the support of column j.
+func (c *CSC) XorColInto(v Vec, j int) {
+	for _, i := range c.ColSpan(j) {
+		v.Flip(int(i))
+	}
+}
+
+// MulVecInto computes out = c·x without allocating. out must have length
+// Rows and x length Cols.
+func (c *CSC) MulVecInto(out, x Vec) {
+	if x.n != c.cols || out.n != c.rows {
+		panic("gf2: CSC.MulVecInto dimension mismatch")
+	}
+	out.Zero()
+	for wi, w := range x.w {
+		for w != 0 {
+			j := wi*wordBits + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, i := range c.ColSpan(j) {
+				out.Flip(int(i))
+			}
+		}
+	}
+}
+
+// MulVec returns c·x.
+func (c *CSC) MulVec(x Vec) Vec {
+	out := NewVec(c.rows)
+	c.MulVecInto(out, x)
+	return out
+}
+
+// CSR is a row-major flat sparse GF(2) matrix: the column indices of row
+// i occupy indices[offsets[i]:offsets[i+1]], sorted ascending.
+type CSR struct {
+	rows, cols int
+	offsets    []int32
+	indices    []int32
+}
+
+// CSRFromSparse flattens a SparseRows into CSR form.
+func CSRFromSparse(s *SparseRows) *CSR {
+	nnz := 0
+	for _, r := range s.row {
+		nnz += len(r)
+	}
+	c := &CSR{
+		rows:    s.rows,
+		cols:    s.cols,
+		offsets: make([]int32, s.rows+1),
+		indices: make([]int32, 0, nnz),
+	}
+	for i, r := range s.row {
+		for _, j := range r {
+			c.indices = append(c.indices, int32(j))
+		}
+		c.offsets[i+1] = int32(len(c.indices))
+	}
+	return c
+}
+
+// CSRFromCols transposes a SparseCols directly into CSR form (the row
+// adjacency of the same matrix), without a dense round trip.
+func CSRFromCols(s *SparseCols) *CSR {
+	c := &CSR{
+		rows:    s.rows,
+		cols:    s.cols,
+		offsets: make([]int32, s.rows+1),
+		indices: make([]int32, s.NNZ()),
+	}
+	// Counting pass, then prefix sums, then a placement pass. Columns are
+	// visited in ascending order, so each row span ends up sorted.
+	for _, col := range s.col {
+		for _, i := range col {
+			c.offsets[i+1]++
+		}
+	}
+	for i := 0; i < s.rows; i++ {
+		c.offsets[i+1] += c.offsets[i]
+	}
+	next := make([]int32, s.rows)
+	copy(next, c.offsets[:s.rows])
+	for j, col := range s.col {
+		for _, i := range col {
+			c.indices[next[i]] = int32(j)
+			next[i]++
+		}
+	}
+	return c
+}
+
+// CSRFromDense converts a dense matrix to CSR form with a packed word
+// scan per row.
+func CSRFromDense(m *Dense) *CSR {
+	c := &CSR{
+		rows:    m.rows,
+		cols:    m.cols,
+		offsets: make([]int32, m.rows+1),
+		indices: make([]int32, 0, m.NNZ()),
+	}
+	for i := 0; i < m.rows; i++ {
+		for wi, w := range m.row(i) {
+			for w != 0 {
+				j := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				c.indices = append(c.indices, int32(j))
+			}
+		}
+		c.offsets[i+1] = int32(len(c.indices))
+	}
+	return c
+}
+
+// Rows returns the number of rows.
+func (c *CSR) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *CSR) Cols() int { return c.cols }
+
+// NNZ returns the number of nonzeros.
+func (c *CSR) NNZ() int { return len(c.indices) }
+
+// RowSpan returns the sorted nonzero column indices of row i as a
+// subslice of the shared indices array: no allocation, must not be
+// modified.
+func (c *CSR) RowSpan(i int) []int32 {
+	return c.indices[c.offsets[i]:c.offsets[i+1]]
+}
+
+// RowWeight returns the number of nonzeros in row i.
+func (c *CSR) RowWeight(i int) int { return int(c.offsets[i+1] - c.offsets[i]) }
+
+// MaxRowWeight returns the maximum row weight.
+func (c *CSR) MaxRowWeight() int {
+	best := 0
+	for i := 0; i < c.rows; i++ {
+		if w := c.RowWeight(i); w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+// MulVecInto computes out = c·x via per-row parity without allocating.
+func (c *CSR) MulVecInto(out, x Vec) {
+	if x.n != c.cols || out.n != c.rows {
+		panic("gf2: CSR.MulVecInto dimension mismatch")
+	}
+	out.Zero()
+	for i := 0; i < c.rows; i++ {
+		par := false
+		for _, j := range c.RowSpan(i) {
+			if x.Get(int(j)) {
+				par = !par
+			}
+		}
+		if par {
+			out.Set(i, true)
+		}
+	}
+}
+
+// MulVec returns c·x.
+func (c *CSR) MulVec(x Vec) Vec {
+	out := NewVec(c.rows)
+	c.MulVecInto(out, x)
+	return out
+}

@@ -1,0 +1,110 @@
+package gf2
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomDense(rng *rand.Rand, m, n int, p float64) *Dense {
+	d := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < p {
+				d.Set(i, j, true)
+			}
+		}
+	}
+	return d
+}
+
+func randomVec(rng *rand.Rand, n int, p float64) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestCSCMatchesSparseCols(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 1+rng.IntN(40), 1+rng.IntN(40)
+		d := randomDense(rng, m, n, 0.2)
+		s := SparseFromDense(d)
+		c := CSCFromSparse(s)
+		if c.Rows() != m || c.Cols() != n || c.NNZ() != s.NNZ() {
+			t.Fatalf("shape/nnz mismatch")
+		}
+		for j := 0; j < n; j++ {
+			sup := s.ColSupport(j)
+			span := c.ColSpan(j)
+			if len(sup) != len(span) || c.ColWeight(j) != len(sup) {
+				t.Fatalf("col %d: weight %d vs %d", j, len(span), len(sup))
+			}
+			for k := range sup {
+				if int(span[k]) != sup[k] {
+					t.Fatalf("col %d entry %d: %d vs %d", j, k, span[k], sup[k])
+				}
+			}
+		}
+		x := randomVec(rng, n, 0.3)
+		if !c.MulVec(x).Equal(d.MulVec(x)) {
+			t.Fatal("CSC MulVec disagrees with Dense")
+		}
+	}
+}
+
+func TestCSRMatchesSparseRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 1+rng.IntN(40), 1+rng.IntN(40)
+		d := randomDense(rng, m, n, 0.2)
+		sr := SparseRowsFromDense(d)
+		nnz := 0
+		for i := 0; i < m; i++ {
+			nnz += len(sr.RowSupport(i))
+		}
+		for _, c := range []*CSR{CSRFromSparse(sr), CSRFromCols(SparseFromDense(d)), CSRFromDense(d)} {
+			if c.Rows() != m || c.Cols() != n || c.NNZ() != nnz {
+				t.Fatalf("shape/nnz mismatch")
+			}
+			for i := 0; i < m; i++ {
+				sup := sr.RowSupport(i)
+				span := c.RowSpan(i)
+				if len(sup) != len(span) {
+					t.Fatalf("row %d: weight %d vs %d", i, len(span), len(sup))
+				}
+				for k := range sup {
+					if int(span[k]) != sup[k] {
+						t.Fatalf("row %d entry %d: %d vs %d", i, k, span[k], sup[k])
+					}
+				}
+			}
+			x := randomVec(rng, n, 0.3)
+			if !c.MulVec(x).Equal(d.MulVec(x)) {
+				t.Fatal("CSR MulVec disagrees with Dense")
+			}
+		}
+	}
+}
+
+func TestXorColInto(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	d := randomDense(rng, 30, 20, 0.25)
+	c := CSCFromDense(d)
+	for j := 0; j < 20; j++ {
+		v := randomVec(rng, 30, 0.5)
+		want := v.Clone()
+		for i := 0; i < 30; i++ {
+			if d.At(i, j) {
+				want.Flip(i)
+			}
+		}
+		c.XorColInto(v, j)
+		if !v.Equal(want) {
+			t.Fatalf("XorColInto col %d mismatch", j)
+		}
+	}
+}

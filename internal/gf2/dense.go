@@ -231,6 +231,65 @@ func (m *Dense) MulVec(v Vec) Vec {
 	return out
 }
 
+// MulVecInto computes out = m·v without allocating. out must have length
+// Rows and v length Cols.
+func (m *Dense) MulVecInto(out, v Vec) {
+	if v.n != m.cols || out.n != m.rows {
+		panic(fmt.Sprintf("gf2: MulVecInto dimension mismatch: %dx%d by %d into %d",
+			m.rows, m.cols, v.n, out.n))
+	}
+	out.Zero()
+	for i := 0; i < m.rows; i++ {
+		var acc uint64
+		r := m.row(i)
+		for k, w := range v.w {
+			acc ^= r[k] & w
+		}
+		if bits.OnesCount64(acc)%2 == 1 {
+			out.Set(i, true)
+		}
+	}
+}
+
+// CopyFrom overwrites m with the entries of other. Shapes must match.
+func (m *Dense) CopyFrom(other *Dense) {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic("gf2: CopyFrom shape mismatch")
+	}
+	copy(m.w, other.w)
+}
+
+// SubmatrixInto copies the rectangle rows [r0,r1) × cols [c0,c1) into
+// out, which must already have shape (r1-r0)×(c1-c0). The allocation-free
+// variant of Submatrix.
+func (m *Dense) SubmatrixInto(out *Dense, r0, r1, c0, c1 int) {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic("gf2: SubmatrixInto out of range")
+	}
+	if out.rows != r1-r0 || out.cols != c1-c0 {
+		panic("gf2: SubmatrixInto shape mismatch")
+	}
+	for i := range out.w {
+		out.w[i] = 0
+	}
+	for i := r0; i < r1; i++ {
+		src := m.row(i)
+		dst := out.row(i - r0)
+		for wi, w := range src {
+			base := wi * wordBits
+			for w != 0 {
+				j := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if j < c0 || j >= c1 {
+					continue
+				}
+				jj := j - c0
+				dst[jj/wordBits] |= 1 << (uint(jj) % wordBits)
+			}
+		}
+	}
+}
+
 // Mul returns the matrix product m·b.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.cols != b.rows {

@@ -1,6 +1,9 @@
 package gf2
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // SparseCols is a column-major sparse GF(2) matrix: for each column it
 // stores the sorted row indices of its nonzero entries. It is the format
@@ -17,12 +20,17 @@ func NewSparseCols(rows, cols int) *SparseCols {
 	return &SparseCols{rows: rows, cols: cols, col: make([][]int, cols)}
 }
 
-// SparseFromDense converts a dense matrix to sparse column form.
+// SparseFromDense converts a dense matrix to sparse column form by
+// scanning the packed row words (TrailingZeros64 per set bit) instead of
+// probing every cell. Rows are visited in ascending order, so each column
+// support comes out sorted.
 func SparseFromDense(m *Dense) *SparseCols {
 	s := NewSparseCols(m.Rows(), m.Cols())
-	for j := 0; j < m.Cols(); j++ {
-		for i := 0; i < m.Rows(); i++ {
-			if m.At(i, j) {
+	for i := 0; i < m.Rows(); i++ {
+		for wi, w := range m.row(i) {
+			for w != 0 {
+				j := wi*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
 				s.col[j] = append(s.col[j], i)
 			}
 		}
@@ -94,14 +102,26 @@ func (s *SparseCols) XorColInto(v Vec, j int) {
 // MulVec returns s·x for a vector x of length Cols.
 func (s *SparseCols) MulVec(x Vec) Vec {
 	out := NewVec(s.rows)
-	for j, c := range s.col {
-		if x.Get(j) {
-			for _, i := range c {
+	s.MulVecInto(out, x)
+	return out
+}
+
+// MulVecInto computes out = s·x without allocating, scanning the packed
+// words of x so only set bits touch their column supports.
+func (s *SparseCols) MulVecInto(out, x Vec) {
+	if x.n != s.cols || out.n != s.rows {
+		panic("gf2: SparseCols.MulVecInto dimension mismatch")
+	}
+	out.Zero()
+	for wi, w := range x.w {
+		for w != 0 {
+			j := wi*wordBits + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, i := range s.col[j] {
 				out.Flip(i)
 			}
 		}
 	}
-	return out
 }
 
 // At reports whether entry (i, j) is set.

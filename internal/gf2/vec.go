@@ -75,6 +75,16 @@ func (v Vec) Flip(i int) {
 	v.w[i/wordBits] ^= 1 << (uint(i) % wordBits)
 }
 
+// Word returns the i-th 64-bit word of the packed storage (bits
+// 64i..64i+63). Hot loops over short vectors hoist the word into a
+// register instead of calling Get per bit.
+func (v Vec) Word(i int) uint64 { return v.w[i] }
+
+// SetWord overwrites the i-th 64-bit word. The caller must keep bits
+// beyond Len() zero (every other Vec operation relies on that
+// invariant).
+func (v Vec) SetWord(i int, w uint64) { v.w[i] = w }
+
 // Xor adds (XORs) u into v in place. The lengths must match.
 func (v Vec) Xor(u Vec) {
 	if v.n != u.n {
@@ -158,15 +168,36 @@ func (v Vec) Zero() {
 
 // Ones returns the indices of the set bits in increasing order.
 func (v Vec) Ones() []int {
-	out := make([]int, 0, v.Weight())
+	return v.AppendOnes(make([]int, 0, v.Weight()))
+}
+
+// AppendOnes appends the indices of the set bits (increasing order) to
+// dst and returns the extended slice. With a caller-owned dst of
+// sufficient capacity this allocates nothing — the hot-path variant of
+// Ones.
+func (v Vec) AppendOnes(dst []int) []int {
 	for wi, w := range v.w {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*wordBits+b)
+			dst = append(dst, wi*wordBits+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// WeightSum returns Σ w[i] over the set bits i of v. w must cover
+// Len() entries.
+func (v Vec) WeightSum(w []float64) float64 {
+	sum := 0.0
+	for wi, word := range v.w {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			sum += w[wi*wordBits+b]
+			word &= word - 1
+		}
+	}
+	return sum
 }
 
 // Dot returns the GF(2) inner product of v and u.

@@ -1,0 +1,59 @@
+package hier
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/decouple"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+func benchFixture(b *testing.B) (*dem.Model, *decouple.Decoupling, []gf2.Vec) {
+	b.Helper()
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := dem.CircuitLevel(c, 0.003)
+	dec, err := decouple.Decouple(model.CheckMatrix(), decouple.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(13, 1))
+	syns := make([]gf2.Vec, 64)
+	for i := range syns {
+		syns[i] = model.Syndrome(model.Sample(rng))
+	}
+	return model, dec, syns
+}
+
+// BenchmarkHierDecode measures a steady-state hierarchical decode on the
+// BB [[72,12,6]] circuit-level model; it must report 0 allocs/op.
+func BenchmarkHierDecode(b *testing.B) {
+	model, dec, syns := benchFixture(b)
+	d := New(dec, model.LLRs(), Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(syns[i%len(syns)])
+	}
+}
+
+// BenchmarkGreedyGuess isolates one block decode, the accelerator GDC's
+// software twin.
+func BenchmarkGreedyGuess(b *testing.B) {
+	model, dec, syns := benchFixture(b)
+	d := New(dec, model.LLRs(), Config{})
+	sl := gf2.NewVec(dec.MD)
+	dec.BlockSyndromeInto(sl, dec.TransformSyndrome(syns[0]), 0)
+	var sol blockSol
+	sol.f = gf2.NewVec(dec.MD)
+	sol.g = gf2.NewVec(dec.ND - dec.MD)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.greedyGuess(0, sl, &sol)
+	}
+}

@@ -1,0 +1,180 @@
+package hier
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/decouple"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+// refBlockSol mirrors blockSol with freshly allocated vectors.
+type refBlockSol struct {
+	f, g gf2.Vec
+	obj  float64
+}
+
+// refGreedyGuess is the slice-of-slices GreedyGuess: same flip order and
+// floating-point accumulation sequence as the flat-span production code,
+// but iterating dec.Blocks[g].ColSupport and allocating per call.
+func refGreedyGuess(dec *decouple.Decoupling, w []float64, cfg Config, g int, sl gf2.Vec) refBlockSol {
+	b := dec.Blocks[g]
+	wf := w[g*dec.ND : g*dec.ND+dec.MD]
+	wg := w[g*dec.ND+dec.MD : (g+1)*dec.ND]
+	nB := b.Cols()
+	f := sl.Clone()
+	gv := gf2.NewVec(nB)
+	obj := 0.0
+	for _, r := range f.Ones() {
+		obj += wf[r]
+	}
+	for round := 1; round <= cfg.InnerIters; round++ {
+		bestBit := -1
+		bestDelta := 0.0
+		for bit := 0; bit < nB; bit++ {
+			if gv.Get(bit) {
+				continue
+			}
+			delta := wg[bit]
+			for _, r := range b.ColSupport(bit) {
+				if f.Get(r) {
+					delta -= wf[r]
+				} else {
+					delta += wf[r]
+				}
+			}
+			if bestBit < 0 || delta < bestDelta {
+				bestBit, bestDelta = bit, delta
+			}
+		}
+		if bestBit < 0 || bestDelta >= 0 {
+			break
+		}
+		gv.Set(bestBit, true)
+		for _, r := range b.ColSupport(bestBit) {
+			f.Flip(r)
+		}
+		obj += bestDelta
+	}
+	return refBlockSol{f: f, g: gv, obj: obj}
+}
+
+func refFirstBlock(sup []int, mD, g int) int {
+	for i, r := range sup {
+		if r/mD == g {
+			return i
+		}
+	}
+	return len(sup)
+}
+
+// refHierDecode is a direct slice-of-slices implementation of Algorithm 1
+// (serial candidate sweep, incremental update), mirroring the production
+// decision order so decodes are bit-identical.
+func refHierDecode(dec *decouple.Decoupling, originalWeights []float64, cfg Config, syndrome gf2.Vec) gf2.Vec {
+	cfg = cfg.withDefaults()
+	w := dec.PermuteWeights(originalWeights)
+	wa := w[dec.K*dec.ND:]
+
+	sPrime := dec.TransformSyndrome(syndrome)
+	rBest := gf2.NewVec(dec.NA)
+	slBase := sPrime.Clone()
+
+	blockSyn := func(sl gf2.Vec, g int) gf2.Vec { return sl.Slice(g*dec.MD, (g+1)*dec.MD) }
+	candBlockSyn := func(sup []int, g int) gf2.Vec {
+		sl := blockSyn(slBase, g)
+		for _, r := range sup {
+			if r/dec.MD == g {
+				sl.Flip(r - g*dec.MD)
+			}
+		}
+		return sl
+	}
+
+	sols := make([]refBlockSol, dec.K)
+	for g := 0; g < dec.K; g++ {
+		sols[g] = refGreedyGuess(dec, w, cfg, g, blockSyn(slBase, g))
+	}
+
+	for k := 1; k <= cfg.MaxIters; k++ {
+		bestI := -1
+		bestDelta := 0.0
+		for i := 0; i < dec.NA; i++ {
+			if rBest.Get(i) {
+				continue
+			}
+			sup := dec.A.ColSupport(i)
+			delta := wa[i]
+			for bi, r := range sup {
+				g := r / dec.MD
+				if refFirstBlock(sup, dec.MD, g) < bi {
+					continue
+				}
+				sol := refGreedyGuess(dec, w, cfg, g, candBlockSyn(sup, g))
+				delta += sol.obj - sols[g].obj
+			}
+			if bestI < 0 || delta < bestDelta {
+				bestI, bestDelta = i, delta
+			}
+		}
+		if bestI < 0 || bestDelta >= 0 {
+			break
+		}
+		sup := dec.A.ColSupport(bestI)
+		for bi, r := range sup {
+			g := r / dec.MD
+			if refFirstBlock(sup, dec.MD, g) < bi {
+				continue
+			}
+			sols[g] = refGreedyGuess(dec, w, cfg, g, candBlockSyn(sup, g))
+		}
+		rBest.Set(bestI, true)
+		for _, r := range sup {
+			slBase.Flip(r)
+		}
+	}
+
+	ePrime := gf2.NewVec(dec.N)
+	for g := 0; g < dec.K; g++ {
+		base := g * dec.ND
+		for _, i := range sols[g].f.Ones() {
+			ePrime.Set(base+i, true)
+		}
+		for _, i := range sols[g].g.Ones() {
+			ePrime.Set(base+dec.MD+i, true)
+		}
+	}
+	aBase := dec.K * dec.ND
+	for _, i := range rBest.Ones() {
+		ePrime.Set(aBase+i, true)
+	}
+	return dec.RecoverError(ePrime)
+}
+
+// TestHierEquivalentToSliceOfSlices pins the flat-span hierarchical
+// decoder to the slice-of-slices reference on sampled syndromes for a BB
+// and an HP code: decodes must be bit-identical.
+func TestHierEquivalentToSliceOfSlices(t *testing.T) {
+	fixtures := []struct {
+		name string
+		fix  func(*testing.T) (*dem.Model, *decouple.Decoupling)
+	}{
+		{"hp", hpFixture},
+		{"bb", bbFixture},
+	}
+	for _, fx := range fixtures {
+		model, dec := fx.fix(t)
+		cfg := Config{}
+		d := New(dec, model.LLRs(), cfg)
+		rng := rand.New(rand.NewPCG(9, 17))
+		for shot := 0; shot < 15; shot++ {
+			syn := model.Syndrome(model.Sample(rng))
+			got, _ := d.Decode(syn)
+			want := refHierDecode(dec, model.LLRs(), cfg, syn)
+			if !got.Equal(want) {
+				t.Fatalf("%s shot %d: flat decode differs from slice-of-slices reference", fx.name, shot)
+			}
+		}
+	}
+}

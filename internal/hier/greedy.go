@@ -11,7 +11,7 @@ import (
 // weighted objective (residual syndrome weight plus error weight),
 // until the syndrome is consumed or the iteration budget is exhausted.
 type GreedyDecoder struct {
-	h *gf2.SparseCols
+	h *gf2.CSC
 	w []float64
 	// MaxFlips caps the number of greedy flips (default n).
 	MaxFlips int
@@ -26,6 +26,9 @@ type GreedyDecoder struct {
 	// objective; it must exceed typical column weights for the greedy
 	// search to prioritize syndrome consumption.
 	ResidualPenalty float64
+
+	// decode scratch, owned until the next Decode call.
+	e, zero, resid gf2.Vec
 }
 
 // NewGreedy builds the no-decoupling greedy decoder.
@@ -40,19 +43,26 @@ func NewGreedy(h *gf2.SparseCols, weights []float64, maxFlips int) *GreedyDecode
 		}
 	}
 	return &GreedyDecoder{
-		h:               h,
+		h:               gf2.CSCFromSparse(h),
 		w:               weights,
 		MaxFlips:        maxFlips,
 		ResidualPenalty: 2*maxW + 1,
+		e:               gf2.NewVec(h.Cols()),
+		zero:            gf2.NewVec(h.Cols()),
+		resid:           gf2.NewVec(h.Rows()),
 	}
 }
 
 // Decode greedily explains the syndrome. The result is best-effort: it
 // may not satisfy the syndrome (exactly the weakness decoupling fixes).
+// The returned vector is owned by the decoder and valid until the next
+// Decode call.
 func (d *GreedyDecoder) Decode(syndrome gf2.Vec) gf2.Vec {
 	n := d.h.Cols()
-	e := gf2.NewVec(n)
-	resid := syndrome.Clone()
+	e := d.e
+	e.Zero()
+	resid := d.resid
+	resid.CopyFrom(syndrome)
 	maxFlips := d.MaxFlips
 	for flip := 0; flip < maxFlips && !resid.IsZero(); flip++ {
 		best := -1
@@ -63,8 +73,8 @@ func (d *GreedyDecoder) Decode(syndrome gf2.Vec) gf2.Vec {
 			}
 			// Δobjective = w_j + penalty · (Δ residual weight).
 			delta := d.w[j]
-			for _, r := range d.h.ColSupport(j) {
-				if resid.Get(r) {
+			for _, r := range d.h.ColSpan(j) {
+				if resid.Get(int(r)) {
 					delta -= d.ResidualPenalty
 				} else {
 					delta += d.ResidualPenalty
@@ -81,7 +91,7 @@ func (d *GreedyDecoder) Decode(syndrome gf2.Vec) gf2.Vec {
 		d.h.XorColInto(resid, best)
 	}
 	if d.Strict && !resid.IsZero() {
-		return gf2.NewVec(n)
+		return d.zero
 	}
 	return e
 }

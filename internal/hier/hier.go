@@ -5,9 +5,16 @@
 // exploiting the incremental-syndrome-update trick of the accelerator's
 // HDU (§5.2): flipping one bit of r only disturbs the ≤S blocks touched
 // by that column of A, so all other block solutions are reused.
+//
+// The decoder is allocation-free in steady state: every per-decode
+// buffer is owned by the Decoder (or, for the parallel candidate sweep,
+// drawn from a sync.Pool of per-goroutine scratch), and the sparse
+// structure is iterated through flat CSC spans. The returned error
+// vector is owned by the decoder and valid until the next Decode call.
 package hier
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 
@@ -59,24 +66,59 @@ type Trace struct {
 	Weight float64
 }
 
-// Decoder executes Algorithm 1 against one decoupling artifact.
+// Decoder executes Algorithm 1 against one decoupling artifact. It is
+// not safe for concurrent use; create one per goroutine.
 type Decoder struct {
 	cfg Config
 	dec *decouple.Decoupling
 	// weights in D' column order, split per region.
 	w []float64
-	// blockRowsOf[row] = block index (rows of D' are block-contiguous).
-	// scratch buffers for the serial path.
+	// flat column views of A and the block B parts.
+	a      *gf2.CSC
+	blocks []*gf2.CSC
+	// smallBlock enables the single-word GreedyGuess fast path
+	// (MD ≤ 64 and ND-MD ≤ 64, true for every code in the paper).
+	smallBlock bool
+	// pruned additionally restricts each GreedyGuess round to bits whose
+	// block column intersects the residual f: with nonnegative weights
+	// every other bit has delta = w_g + Σ w_f ≥ 0 and can never win, so
+	// skipping it cannot change the (strict-less) argmin. rowMasks[g][r]
+	// is the bit set of block g's columns incident to row r.
+	pruned   bool
+	rowMasks [][]uint64
+	allBits  uint64 // mask of the nB valid bits
+
+	// scratch buffers for the serial path; the pool serves the parallel
+	// candidate sweep (per-goroutine scratch, returned after each outer
+	// round).
 	scratch *scratch
 	pool    sync.Pool
+
+	// Per-decode state, reused across Decode calls (the "owned until
+	// next Decode" contract).
+	sPrime    gf2.Vec    // transformed syndrome, length M
+	rBest     gf2.Vec    // right-error estimate, length NA
+	slBase    gf2.Vec    // s' ⊕ A·rBest, length M
+	sols      []blockSol // committed block solutions, K entries
+	staged    []blockSol // winner's recomputed solutions, K entries
+	stagedIDs []int      // blocks staged this round
+	ePrime    gf2.Vec    // assembled error in D' order, length N
+	out       gf2.Vec    // recovered error in original order, length N
+	onesBuf   []int      // AppendOnes scratch
+	results   []cand     // parallel per-worker bests, Workers entries
+}
+
+// cand is a candidate right-error flip with its objective delta.
+type cand struct {
+	i     int
+	delta float64
 }
 
 // scratch holds per-goroutine decode buffers.
 type scratch struct {
-	f    gf2.Vec // block identity part, length MD
-	g    gf2.Vec // block B part, length ND-MD
-	sl   gf2.Vec // block syndrome slice, length MD
-	full gf2.Vec // full left syndrome, length M
+	sl   gf2.Vec  // block syndrome slice, length MD
+	full gf2.Vec  // full left syndrome, length M (ablation path)
+	sol  blockSol // GreedyGuess working solution
 }
 
 // blockSol is one block's GreedyGuess solution.
@@ -86,29 +128,74 @@ type blockSol struct {
 	inner int
 }
 
-func (b *blockSol) clone() blockSol {
-	return blockSol{f: b.f.Clone(), g: b.g.Clone(), obj: b.obj, inner: b.inner}
-}
-
 // New builds the online decoder from an offline decoupling artifact and
 // the per-column objective weights of the *original* matrix (LLRs).
 func New(dec *decouple.Decoupling, originalWeights []float64, cfg Config) *Decoder {
+	cfg = cfg.withDefaults()
 	d := &Decoder{
-		cfg: cfg.withDefaults(),
-		dec: dec,
-		w:   dec.PermuteWeights(originalWeights),
+		cfg:        cfg,
+		dec:        dec,
+		w:          dec.PermuteWeights(originalWeights),
+		a:          dec.ACSC(),
+		blocks:     dec.BlocksCSC(),
+		smallBlock: dec.MD >= 1 && dec.MD <= 64 && dec.ND-dec.MD >= 1 && dec.ND-dec.MD <= 64,
+		sPrime:     gf2.NewVec(dec.M),
+		rBest:      gf2.NewVec(dec.NA),
+		slBase:     gf2.NewVec(dec.M),
+		sols:       newBlockSols(dec),
+		staged:     newBlockSols(dec),
+		stagedIDs:  make([]int, 0, dec.K),
+		ePrime:     gf2.NewVec(dec.N),
+		out:        gf2.NewVec(dec.N),
+		onesBuf:    make([]int, 0, dec.ND),
+		results:    make([]cand, cfg.Workers),
+	}
+	if d.smallBlock {
+		nB := dec.ND - dec.MD
+		d.allBits = ^uint64(0) >> uint(64-nB)
+		d.pruned = true
+		for _, x := range d.w {
+			if x < 0 {
+				d.pruned = false
+				break
+			}
+		}
+		if d.pruned {
+			d.rowMasks = make([][]uint64, dec.K)
+			for g := 0; g < dec.K; g++ {
+				rm := make([]uint64, dec.MD)
+				b := dec.Blocks[g]
+				for bit := 0; bit < b.Cols(); bit++ {
+					for _, r := range b.ColSupport(bit) {
+						rm[r] |= 1 << uint(bit)
+					}
+				}
+				d.rowMasks[g] = rm
+			}
+		}
 	}
 	d.scratch = d.newScratch()
 	d.pool.New = func() any { return d.newScratch() }
 	return d
 }
 
+func newBlockSols(dec *decouple.Decoupling) []blockSol {
+	sols := make([]blockSol, dec.K)
+	for g := range sols {
+		sols[g].f = gf2.NewVec(dec.MD)
+		sols[g].g = gf2.NewVec(dec.ND - dec.MD)
+	}
+	return sols
+}
+
 func (d *Decoder) newScratch() *scratch {
 	return &scratch{
-		f:    gf2.NewVec(d.dec.MD),
-		g:    gf2.NewVec(d.dec.ND - d.dec.MD),
 		sl:   gf2.NewVec(d.dec.MD),
 		full: gf2.NewVec(d.dec.M),
+		sol: blockSol{
+			f: gf2.NewVec(d.dec.MD),
+			g: gf2.NewVec(d.dec.ND - d.dec.MD),
+		},
 	}
 }
 
@@ -126,81 +213,33 @@ func (d *Decoder) wA() []float64 { // A columns
 // Decode runs Algorithm 1 and returns the estimated error in the
 // original column order, plus the execution trace. The result always
 // satisfies D·e = s exactly (GreedyGuess solutions are constraint-exact
-// by construction).
+// by construction). The returned vector is owned by the decoder and
+// valid until the next Decode call.
 func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 	dec := d.dec
 	tr := Trace{}
-	sPrime := dec.TransformSyndrome(syndrome) // line 1
-	rBest := gf2.NewVec(dec.NA)               // line 2
-	slBase := sPrime.Clone()                  // s' ⊕ A·rBest (rBest = 0)
+	d.dec.TransformSyndromeInto(d.sPrime, syndrome) // line 1
+	d.rBest.Zero()                                  // line 2
+	d.slBase.CopyFrom(d.sPrime)                     // s' ⊕ A·rBest (rBest = 0)
 
 	// Baseline solution: decode every block against slBase.
-	sols := make([]blockSol, dec.K)
 	for g := 0; g < dec.K; g++ {
-		sols[g] = d.greedyGuess(g, dec.BlockSyndrome(slBase, g), d.scratch)
+		dec.BlockSyndromeInto(d.scratch.sl, d.slBase, g)
+		d.greedyGuess(g, d.scratch.sl, &d.sols[g])
 		tr.BlockDecodes++
-		if sols[g].inner > tr.MaxInnerIters {
-			tr.MaxInnerIters = sols[g].inner
+		if d.sols[g].inner > tr.MaxInnerIters {
+			tr.MaxInnerIters = d.sols[g].inner
 		}
 	}
-	dMin := d.totalWeight(sols, rBest)
-	wa := d.wA()
+	dMin := d.totalWeight()
 
 	for k := 1; k <= d.cfg.MaxIters; k++ { // line 3
 		tr.OuterIters = k
 		bestI := -1
 		bestDelta := 0.0
-		// eval scores candidate i (flip bit i of rBest) without
-		// materializing its block solutions; the winner's solutions are
-		// recomputed once after selection.
-		eval := func(i int, sc *scratch) (float64, bool) {
-			// Candidate r = rBest with bit i set (line 5).
-			if rBest.Get(i) {
-				return 0, false
-			}
-			sup := dec.A.ColSupport(i)
-			delta := wa[i]
-			if d.cfg.DisableIncremental {
-				// Full re-decode of every block against the modified
-				// syndrome (ablation of the incremental update).
-				sc.full.CopyFrom(slBase)
-				for _, r := range sup {
-					sc.full.Flip(r)
-				}
-				delta = wa[i]
-				for g := 0; g < dec.K; g++ {
-					ns := d.greedyGuess(g, dec.BlockSyndrome(sc.full, g), sc)
-					delta += ns.obj - sols[g].obj
-				}
-				return delta, true
-			}
-			// Incremental: only blocks touched by column i change.
-			for bi, r := range sup {
-				g := r / dec.MD
-				if dup := firstBlockIndex(sup, dec.MD, g); dup < bi {
-					continue // block already evaluated for this candidate
-				}
-				// Block syndrome = base slice with the touched rows
-				// flipped.
-				sc.sl.CopyFrom(dec.BlockSyndrome(slBase, g))
-				for _, r2 := range sup {
-					if r2/dec.MD == g {
-						sc.sl.Flip(r2 - g*dec.MD)
-					}
-				}
-				ns := d.greedyGuess(g, sc.sl, sc)
-				delta += ns.obj - sols[g].obj
-			}
-			return delta, true
-		}
 
 		if d.cfg.Parallel && dec.NA > 1 {
-			type cand struct {
-				i     int
-				delta float64
-			}
 			workers := d.cfg.Workers
-			results := make([]cand, workers)
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -210,7 +249,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 					defer d.pool.Put(sc)
 					best := cand{i: -1}
 					for i := w; i < dec.NA; i += workers {
-						delta, ok := eval(i, sc)
+						delta, ok := d.evalCandidate(i, sc)
 						if !ok {
 							continue
 						}
@@ -218,19 +257,19 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 							best = cand{i: i, delta: delta}
 						}
 					}
-					results[w] = best
+					d.results[w] = best
 				}(w)
 			}
 			wg.Wait()
 			tr.Candidates += dec.NA
-			for _, c := range results {
+			for _, c := range d.results {
 				if c.i >= 0 && (bestI < 0 || c.delta < bestDelta) {
 					bestI, bestDelta = c.i, c.delta
 				}
 			}
 		} else {
 			for i := 0; i < dec.NA; i++ { // line 4
-				delta, ok := eval(i, d.scratch)
+				delta, ok := d.evalCandidate(i, d.scratch)
 				tr.Candidates++
 				if !ok {
 					continue
@@ -244,43 +283,38 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 		if bestI < 0 || bestDelta >= 0 { // lines 11, 13-14
 			break
 		}
-		// Recompute the winning candidate's touched block solutions once.
-		bestSols := map[int]blockSol{}
-		{
-			sup := dec.A.ColSupport(bestI)
-			if d.cfg.DisableIncremental {
-				d.scratch.full.CopyFrom(slBase)
-				for _, r := range sup {
-					d.scratch.full.Flip(r)
+		// Recompute the winning candidate's touched block solutions once,
+		// staged so commit is a pointer swap per block.
+		d.stagedIDs = d.stagedIDs[:0]
+		sup := d.a.ColSpan(bestI)
+		if d.cfg.DisableIncremental {
+			d.scratch.full.CopyFrom(d.slBase)
+			for _, r := range sup {
+				d.scratch.full.Flip(int(r))
+			}
+			for g := 0; g < dec.K; g++ {
+				dec.BlockSyndromeInto(d.scratch.sl, d.scratch.full, g)
+				d.greedyGuess(g, d.scratch.sl, &d.staged[g])
+				d.stagedIDs = append(d.stagedIDs, g)
+			}
+		} else {
+			for bi, r := range sup {
+				g := int(r) / dec.MD
+				if dup := firstBlockIndex(sup, dec.MD, g); dup < bi {
+					continue
 				}
-				for g := 0; g < dec.K; g++ {
-					bestSols[g] = d.greedyGuess(g, dec.BlockSyndrome(d.scratch.full, g), d.scratch)
-				}
-			} else {
-				for bi, r := range sup {
-					g := r / dec.MD
-					if dup := firstBlockIndex(sup, dec.MD, g); dup < bi {
-						continue
-					}
-					d.scratch.sl.CopyFrom(dec.BlockSyndrome(slBase, g))
-					for _, r2 := range sup {
-						if r2/dec.MD == g {
-							d.scratch.sl.Flip(r2 - g*dec.MD)
-						}
-					}
-					bestSols[g] = d.greedyGuess(g, d.scratch.sl, d.scratch)
-				}
+				d.candidateBlockSyndrome(d.scratch.sl, sup, g)
+				d.greedyGuess(g, d.scratch.sl, &d.staged[g])
+				d.stagedIDs = append(d.stagedIDs, g)
 			}
 		}
 		// Commit (line 12).
-		rBest.Set(bestI, true)
-		for _, r := range dec.A.ColSupport(bestI) {
-			slBase.Flip(r)
-		}
-		for g, ns := range bestSols {
-			sols[g] = ns
-			if ns.inner > tr.MaxInnerIters {
-				tr.MaxInnerIters = ns.inner
+		d.rBest.Set(bestI, true)
+		d.a.XorColInto(d.slBase, bestI)
+		for _, g := range d.stagedIDs {
+			d.sols[g], d.staged[g] = d.staged[g], d.sols[g]
+			if d.sols[g].inner > tr.MaxInnerIters {
+				tr.MaxInnerIters = d.sols[g].inner
 			}
 			tr.BlockDecodes++
 		}
@@ -288,29 +322,84 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 	}
 
 	// Assemble e' and recover e = P·e' (line 15).
-	ePrime := gf2.NewVec(dec.N)
+	d.ePrime.Zero()
 	for g := 0; g < dec.K; g++ {
 		base := g * dec.ND
-		for _, i := range sols[g].f.Ones() {
-			ePrime.Set(base+i, true)
+		d.onesBuf = d.sols[g].f.AppendOnes(d.onesBuf[:0])
+		for _, i := range d.onesBuf {
+			d.ePrime.Set(base+i, true)
 		}
-		for _, i := range sols[g].g.Ones() {
-			ePrime.Set(base+dec.MD+i, true)
+		d.onesBuf = d.sols[g].g.AppendOnes(d.onesBuf[:0])
+		for _, i := range d.onesBuf {
+			d.ePrime.Set(base+dec.MD+i, true)
 		}
 	}
 	aBase := dec.K * dec.ND
-	for _, i := range rBest.Ones() {
-		ePrime.Set(aBase+i, true)
+	d.onesBuf = d.rBest.AppendOnes(d.onesBuf[:0])
+	for _, i := range d.onesBuf {
+		d.ePrime.Set(aBase+i, true)
 	}
 	tr.Weight = dMin
-	return d.dec.RecoverError(ePrime), tr
+	d.dec.RecoverErrorInto(d.out, d.ePrime)
+	return d.out, tr
+}
+
+// evalCandidate scores candidate i (flip bit i of rBest) without
+// materializing its block solutions; the winner's solutions are
+// recomputed once after selection. Candidate r = rBest with bit i set
+// (line 5).
+func (d *Decoder) evalCandidate(i int, sc *scratch) (float64, bool) {
+	dec := d.dec
+	if d.rBest.Get(i) {
+		return 0, false
+	}
+	sup := d.a.ColSpan(i)
+	wa := d.wA()
+	delta := wa[i]
+	if d.cfg.DisableIncremental {
+		// Full re-decode of every block against the modified syndrome
+		// (ablation of the incremental update).
+		sc.full.CopyFrom(d.slBase)
+		for _, r := range sup {
+			sc.full.Flip(int(r))
+		}
+		for g := 0; g < dec.K; g++ {
+			dec.BlockSyndromeInto(sc.sl, sc.full, g)
+			d.greedyGuess(g, sc.sl, &sc.sol)
+			delta += sc.sol.obj - d.sols[g].obj
+		}
+		return delta, true
+	}
+	// Incremental: only blocks touched by column i change.
+	for bi, r := range sup {
+		g := int(r) / dec.MD
+		if dup := firstBlockIndex(sup, dec.MD, g); dup < bi {
+			continue // block already evaluated for this candidate
+		}
+		d.candidateBlockSyndrome(sc.sl, sup, g)
+		d.greedyGuess(g, sc.sl, &sc.sol)
+		delta += sc.sol.obj - d.sols[g].obj
+	}
+	return delta, true
+}
+
+// candidateBlockSyndrome writes block g's base syndrome slice with the
+// candidate column's touched rows flipped into dst.
+func (d *Decoder) candidateBlockSyndrome(dst gf2.Vec, sup []int32, g int) {
+	d.dec.BlockSyndromeInto(dst, d.slBase, g)
+	base := g * d.dec.MD
+	for _, r := range sup {
+		if int(r)/d.dec.MD == g {
+			dst.Flip(int(r) - base)
+		}
+	}
 }
 
 // firstBlockIndex returns the index within sup of the first row that
 // falls in block g.
-func firstBlockIndex(sup []int, mD, g int) int {
+func firstBlockIndex(sup []int32, mD, g int) int {
 	for i, r := range sup {
-		if r/mD == g {
+		if int(r)/mD == g {
 			return i
 		}
 	}
@@ -318,35 +407,82 @@ func firstBlockIndex(sup []int, mD, g int) int {
 }
 
 // totalWeight computes Σ w over the assembled solution.
-func (d *Decoder) totalWeight(sols []blockSol, r gf2.Vec) float64 {
+func (d *Decoder) totalWeight() float64 {
 	total := 0.0
-	for g := range sols {
-		total += sols[g].obj
+	for g := range d.sols {
+		total += d.sols[g].obj
 	}
-	wa := d.wA()
-	for _, i := range r.Ones() {
-		total += wa[i]
-	}
-	return total
+	return total + d.rBest.WeightSum(d.wA())
 }
 
 // greedyGuess solves D_i·l = s_l for one block (paper Fig. 6): with
 // D_i = (I | B), fix g and read off f = B·g ⊕ s_l; start from g = 0 and
 // greedily flip the g bit that most reduces the weighted objective,
-// stopping when no flip helps or InnerIters is reached.
-func (d *Decoder) greedyGuess(g int, sl gf2.Vec, sc *scratch) blockSol {
-	b := d.dec.Blocks[g]
+// stopping when no flip helps or InnerIters is reached. The solution is
+// written into out (whose vectors must be preallocated to MD and ND-MD).
+func (d *Decoder) greedyGuess(g int, sl gf2.Vec, out *blockSol) {
+	b := d.blocks[g]
 	wf := d.wIdent(g)
 	wg := d.wB(g)
 	nB := b.Cols()
 
-	f := sl.Clone()
-	gv := gf2.NewVec(nB)
-	obj := 0.0
-	for _, i := range f.Ones() {
-		obj += wf[i]
-	}
+	f := out.f
+	gv := out.g
+	f.CopyFrom(sl)
+	gv.Zero()
+	obj := f.WeightSum(wf)
 	inner := 0
+	if d.smallBlock {
+		// Both f (MD bits) and g (ND-MD bits) fit in one word: keep them
+		// in registers and test bits by shifting, avoiding a memory load
+		// per matrix entry. The arithmetic order is identical to the
+		// general path, so decodes are bit-for-bit the same.
+		fw := f.Word(0)
+		var gvw uint64
+		for round := 1; round <= d.cfg.InnerIters; round++ {
+			// Bits worth scoring this round: all of them, or (with
+			// nonnegative weights) only those incident to the residual.
+			cm := d.allBits
+			if d.pruned {
+				cm = 0
+				rm := d.rowMasks[g]
+				for w := fw; w != 0; w &= w - 1 {
+					cm |= rm[bits.TrailingZeros64(w)]
+				}
+			}
+			cm &^= gvw
+			bestBit := -1
+			bestDelta := 0.0
+			for m := cm; m != 0; m &= m - 1 {
+				bit := bits.TrailingZeros64(m)
+				delta := wg[bit]
+				for _, r := range b.ColSpan(bit) {
+					if fw>>uint(r)&1 != 0 {
+						delta -= wf[r]
+					} else {
+						delta += wf[r]
+					}
+				}
+				if bestBit < 0 || delta < bestDelta {
+					bestBit, bestDelta = bit, delta
+				}
+			}
+			if bestBit < 0 || bestDelta >= 0 {
+				break
+			}
+			inner = round
+			gvw |= 1 << uint(bestBit)
+			for _, r := range b.ColSpan(bestBit) {
+				fw ^= 1 << uint(r)
+			}
+			obj += bestDelta
+		}
+		f.SetWord(0, fw)
+		gv.SetWord(0, gvw)
+		out.obj = obj
+		out.inner = inner
+		return
+	}
 	for round := 1; round <= d.cfg.InnerIters; round++ {
 		bestBit := -1
 		bestDelta := 0.0
@@ -355,8 +491,8 @@ func (d *Decoder) greedyGuess(g int, sl gf2.Vec, sc *scratch) blockSol {
 				continue
 			}
 			delta := wg[bit]
-			for _, r := range b.ColSupport(bit) {
-				if f.Get(r) {
+			for _, r := range b.ColSpan(bit) {
+				if f.Get(int(r)) {
 					delta -= wf[r]
 				} else {
 					delta += wf[r]
@@ -371,10 +507,9 @@ func (d *Decoder) greedyGuess(g int, sl gf2.Vec, sc *scratch) blockSol {
 		}
 		inner = round
 		gv.Set(bestBit, true)
-		for _, r := range b.ColSupport(bestBit) {
-			f.Flip(r)
-		}
+		b.XorColInto(f, bestBit)
 		obj += bestDelta
 	}
-	return blockSol{f: f, g: gv, obj: obj, inner: inner}
+	out.obj = obj
+	out.inner = inner
 }

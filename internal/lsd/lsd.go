@@ -12,12 +12,30 @@ import (
 	"vegapunk/internal/gf2"
 )
 
-// Decoder is a BP+LSD decoder bound to one check matrix.
+// Decoder is a BP+LSD decoder bound to one check matrix. The union-find
+// arrays, cluster lists, and membership marks are decoder-owned and
+// reused across decodes; only the per-cluster local systems (whose shape
+// depends on how far clusters grow) are allocated on the post-processing
+// path. Not safe for concurrent use.
 type Decoder struct {
 	bp       *bp.Decoder
-	h        *gf2.SparseCols
-	rows     *gf2.SparseRows
+	h        *gf2.CSC
+	rows     *gf2.CSR
 	priorLLR []float64
+
+	// Cluster scratch, reused across decodes.
+	parent    []int   // union-find over checks
+	inCluster []bool  // check absorbed into some cluster
+	colIn     []bool  // column absorbed into some cluster
+	slot      []int   // root check -> group slot (reset to -1 after use)
+	roots     []int   // roots touched by the last collectGroups
+	groups    [][]int // per-group check lists (backing arrays reused)
+	inSet     []bool  // scratch: membership of one cluster's checks
+	seen      []bool  // scratch: columns visited for one cluster
+	visited   []int   // columns to un-mark in seen
+	colsBuf   []int   // interior columns of one cluster
+	rowOf     []int   // check -> local row index (reset to -1 after use)
+	out       gf2.Vec // result (owned until next Decode)
 }
 
 // New builds a BP+LSD decoder. The paper's configuration runs BP for 30
@@ -26,16 +44,33 @@ func New(h *gf2.SparseCols, priorLLR []float64, bpCfg bp.Config) *Decoder {
 	if bpCfg.MaxIters == 0 {
 		bpCfg.MaxIters = 30
 	}
-	return &Decoder{
-		bp:       bp.New(h, priorLLR, bpCfg),
-		h:        h,
-		rows:     gf2.SparseRowsFromDense(h.ToDense()),
-		priorLLR: priorLLR,
+	m, n := h.Rows(), h.Cols()
+	d := &Decoder{
+		bp:        bp.New(h, priorLLR, bpCfg),
+		h:         gf2.CSCFromSparse(h),
+		rows:      gf2.CSRFromCols(h),
+		priorLLR:  priorLLR,
+		parent:    make([]int, m),
+		inCluster: make([]bool, m),
+		colIn:     make([]bool, n),
+		slot:      make([]int, m),
+		inSet:     make([]bool, m),
+		seen:      make([]bool, n),
+		rowOf:     make([]int, m),
+		out:       gf2.NewVec(n),
 	}
+	for i := range d.slot {
+		d.slot[i] = -1
+	}
+	for i := range d.rowOf {
+		d.rowOf[i] = -1
+	}
+	return d
 }
 
 // Result reports a BP+LSD decode.
 type Result struct {
+	// Error is owned by the decoder and valid until the next Decode call.
 	Error       gf2.Vec
 	BPConverged bool
 	BPIters     int
@@ -48,63 +83,91 @@ type Result struct {
 func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 	r := d.bp.Decode(syndrome)
 	if r.Converged {
-		return Result{Error: r.Error.Clone(), BPConverged: true, BPIters: r.Iters}
+		return Result{Error: r.Error, BPConverged: true, BPIters: r.Iters}
 	}
 	e, nc, maxc := d.clusterSolve(syndrome, r.Posterior)
 	return Result{Error: e, BPIters: r.Iters, Clusters: nc, MaxClusterChecks: maxc}
 }
 
+// find is union-find root lookup with path halving.
+func (d *Decoder) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *Decoder) union(a, b int) { d.parent[d.find(a)] = d.find(b) }
+
+// collectGroups gathers the current clusters as lists of member checks.
+// The returned slices (outer and inner) alias decoder-owned storage and
+// are valid until the next collectGroups call.
+func (d *Decoder) collectGroups() [][]int {
+	m := len(d.parent)
+	d.roots = d.roots[:0]
+	ngroups := 0
+	for c := 0; c < m; c++ {
+		if !d.inCluster[c] {
+			continue
+		}
+		r := d.find(c)
+		s := d.slot[r]
+		if s < 0 {
+			s = ngroups
+			d.slot[r] = s
+			d.roots = append(d.roots, r)
+			if ngroups < len(d.groups) {
+				d.groups[s] = d.groups[s][:0]
+			} else {
+				d.groups = append(d.groups, nil)
+			}
+			ngroups++
+		}
+		d.groups[s] = append(d.groups[s], c)
+	}
+	for _, r := range d.roots {
+		d.slot[r] = -1
+	}
+	return d.groups[:ngroups]
+}
+
 // clusterSolve grows and solves clusters around flipped detectors.
 func (d *Decoder) clusterSolve(syndrome gf2.Vec, soft []float64) (gf2.Vec, int, int) {
-	m, n := d.h.Rows(), d.h.Cols()
-	// Union-find over checks.
-	parent := make([]int, m)
-	for i := range parent {
-		parent[i] = i
+	m := d.h.Rows()
+	for i := range d.parent {
+		d.parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
+	for i := range d.inCluster {
+		d.inCluster[i] = false
+	}
+	for i := range d.colIn {
+		d.colIn[i] = false
+	}
+	for c := 0; c < m; c++ {
+		if syndrome.Get(c) {
+			d.inCluster[c] = true
 		}
-		return x
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-
-	inCluster := make([]bool, m)
-	colIn := make([]bool, n)
-	seeds := syndrome.Ones()
-	for _, c := range seeds {
-		inCluster[c] = true
 	}
 
 	// Iteratively grow all clusters simultaneously until every cluster's
 	// local system is solvable (or the whole matrix has been absorbed).
 	for iter := 0; ; iter++ {
-		// Collect clusters.
-		groups := map[int][]int{}
-		for c := 0; c < m; c++ {
-			if inCluster[c] {
-				r := find(c)
-				groups[r] = append(groups[r], c)
-			}
-		}
 		allValid := true
-		for _, checks := range groups {
-			if !d.clusterValid(checks, colIn, syndrome) {
+		for _, checks := range d.collectGroups() {
+			if !d.clusterValid(checks, syndrome) {
 				allValid = false
 				// Grow: absorb every column adjacent to the cluster's
 				// checks, then every check adjacent to those columns.
 				for _, c := range checks {
-					for _, v := range d.rows.RowSupport(c) {
-						colIn[v] = true
-						for _, c2 := range d.h.ColSupport(v) {
-							if !inCluster[c2] {
-								inCluster[c2] = true
-								parent[c2] = find(c)
+					for _, v := range d.rows.RowSpan(c) {
+						d.colIn[v] = true
+						for _, c2 := range d.h.ColSpan(int(v)) {
+							if !d.inCluster[c2] {
+								d.inCluster[c2] = true
+								d.parent[c2] = d.find(c)
 							} else {
-								union(c2, c)
+								d.union(int(c2), c)
 							}
 						}
 					}
@@ -117,28 +180,22 @@ func (d *Decoder) clusterSolve(syndrome gf2.Vec, soft []float64) (gf2.Vec, int, 
 	}
 
 	// Solve each cluster independently with reliability-guided pivoting.
-	out := gf2.NewVec(n)
-	groups := map[int][]int{}
-	for c := 0; c < m; c++ {
-		if inCluster[c] {
-			r := find(c)
-			groups[r] = append(groups[r], c)
-		}
-	}
+	d.out.Zero()
+	groups := d.collectGroups()
 	maxChecks := 0
 	for _, checks := range groups {
 		if len(checks) > maxChecks {
 			maxChecks = len(checks)
 		}
-		d.solveCluster(checks, colIn, syndrome, soft, out)
+		d.solveCluster(checks, syndrome, soft, d.out)
 	}
-	return out, len(groups), maxChecks
+	return d.out, len(groups), maxChecks
 }
 
 // clusterValid reports whether the local system restricted to the
 // cluster's checks and its interior columns is solvable.
-func (d *Decoder) clusterValid(checks []int, colIn []bool, syndrome gf2.Vec) bool {
-	cols := d.interiorColumns(checks, colIn)
+func (d *Decoder) clusterValid(checks []int, syndrome gf2.Vec) bool {
+	cols := d.interiorColumns(checks)
 	if len(cols) == 0 {
 		return false
 	}
@@ -149,49 +206,62 @@ func (d *Decoder) clusterValid(checks []int, colIn []bool, syndrome gf2.Vec) boo
 
 // interiorColumns returns absorbed columns whose support lies entirely
 // within the cluster's checks (so solving them cannot disturb other
-// clusters).
-func (d *Decoder) interiorColumns(checks []int, colIn []bool) []int {
-	inSet := map[int]bool{}
+// clusters). The result aliases decoder-owned scratch, valid until the
+// next call.
+func (d *Decoder) interiorColumns(checks []int) []int {
 	for _, c := range checks {
-		inSet[c] = true
+		d.inSet[c] = true
 	}
-	seen := map[int]bool{}
-	var cols []int
+	d.visited = d.visited[:0]
+	d.colsBuf = d.colsBuf[:0]
 	for _, c := range checks {
-		for _, v := range d.rows.RowSupport(c) {
-			if !colIn[v] || seen[v] {
+		for _, v32 := range d.rows.RowSpan(c) {
+			v := int(v32)
+			if !d.colIn[v] || d.seen[v] {
 				continue
 			}
-			seen[v] = true
+			d.seen[v] = true
+			d.visited = append(d.visited, v)
 			ok := true
-			for _, c2 := range d.h.ColSupport(v) {
-				if !inSet[c2] {
+			for _, c2 := range d.h.ColSpan(v) {
+				if !d.inSet[c2] {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				cols = append(cols, v)
+				d.colsBuf = append(d.colsBuf, v)
 			}
 		}
 	}
-	sort.Ints(cols)
-	return cols
+	for _, c := range checks {
+		d.inSet[c] = false
+	}
+	for _, v := range d.visited {
+		d.seen[v] = false
+	}
+	sort.Ints(d.colsBuf)
+	return d.colsBuf
 }
 
-// localSystem extracts the cluster submatrix and sub-syndrome.
+// localSystem extracts the cluster submatrix and sub-syndrome. The
+// returned matrix and vector are freshly allocated: their shape depends
+// on how far the cluster grew, and they are consumed immediately by
+// Dense.Solve (which mutates its receiver).
 func (d *Decoder) localSystem(checks, cols []int, syndrome gf2.Vec) (*gf2.Dense, gf2.Vec) {
 	sub := gf2.NewDense(len(checks), len(cols))
-	rowOf := map[int]int{}
 	for i, c := range checks {
-		rowOf[c] = i
+		d.rowOf[c] = i
 	}
 	for j, v := range cols {
-		for _, c := range d.h.ColSupport(v) {
-			if i, ok := rowOf[c]; ok {
+		for _, c := range d.h.ColSpan(v) {
+			if i := d.rowOf[c]; i >= 0 {
 				sub.Set(i, j, true)
 			}
 		}
+	}
+	for _, c := range checks {
+		d.rowOf[c] = -1
 	}
 	rhs := gf2.NewVec(len(checks))
 	for i, c := range checks {
@@ -204,8 +274,8 @@ func (d *Decoder) localSystem(checks, cols []int, syndrome gf2.Vec) (*gf2.Dense,
 
 // solveCluster writes a reliability-guided particular solution of the
 // cluster system into out.
-func (d *Decoder) solveCluster(checks []int, colIn []bool, syndrome gf2.Vec, soft []float64, out gf2.Vec) {
-	cols := d.interiorColumns(checks, colIn)
+func (d *Decoder) solveCluster(checks []int, syndrome gf2.Vec, soft []float64, out gf2.Vec) {
+	cols := d.interiorColumns(checks)
 	if len(cols) == 0 {
 		return
 	}

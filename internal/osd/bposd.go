@@ -25,6 +25,7 @@ func NewBPOSD(h *gf2.SparseCols, priorLLR []float64, bpCfg bp.Config, osdCfg Con
 
 // Result reports a BP+OSD decode.
 type Result struct {
+	// Error is owned by the decoder and valid until the next Decode call.
 	Error gf2.Vec
 	// BPConverged indicates OSD was skipped.
 	BPConverged bool
@@ -36,7 +37,7 @@ type Result struct {
 func (d *BPOSD) Decode(syndrome gf2.Vec) Result {
 	r := d.bp.Decode(syndrome)
 	if r.Converged {
-		return Result{Error: r.Error.Clone(), BPConverged: true, BPIters: r.Iters}
+		return Result{Error: r.Error, BPConverged: true, BPIters: r.Iters}
 	}
 	return Result{
 		Error:   d.osd.Decode(syndrome, r.Posterior),

@@ -43,13 +43,42 @@ type Config struct {
 // Decoder performs OSD against one check matrix. The Gaussian
 // elimination is redone per decode (reliability order changes per
 // syndrome), which is exactly the sequential cost that makes BP+OSD
-// unsuitable for real-time decoding (paper §3 Challenge 2).
+// unsuitable for real-time decoding (paper §3 Challenge 2) — but it runs
+// in a reusable elimination workspace, so steady-state decodes allocate
+// nothing. Not safe for concurrent use; create one per goroutine.
 type Decoder struct {
 	cfg Config
 	h   *gf2.Dense
+	hc  *gf2.CSC
 	// priorLLR is used as the minimum-weight objective.
 	priorLLR []float64
+
+	// Reusable elimination workspace, sized once at construction.
+	augT    *gf2.Dense // [H | I] template, copied into aug per decode
+	aug     *gf2.Dense
+	e       *gf2.Dense // extracted row transform
+	sorter  argSorter
+	pivCols []int
+	isPivot []bool
+	nonPiv  []int
+	flips   []int
+	b       gf2.Vec // flipped syndrome
+	rb      gf2.Vec // transformed right-hand side
+	cand    gf2.Vec // candidate solution
+	best    gf2.Vec // running best (returned; owned until next Decode)
+
+	bestW float64
 }
+
+// argSorter stably argsorts idx by ascending key, allocation-free.
+type argSorter struct {
+	idx []int
+	key []float64
+}
+
+func (s *argSorter) Len() int           { return len(s.idx) }
+func (s *argSorter) Less(a, b int) bool { return s.key[s.idx[a]] < s.key[s.idx[b]] }
+func (s *argSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
 
 // New builds an OSD decoder for a dense check matrix with the prior LLR
 // objective weights.
@@ -60,14 +89,34 @@ func New(h *gf2.Dense, priorLLR []float64, cfg Config) *Decoder {
 	if cfg.Lambda <= 0 {
 		cfg.Lambda = 3
 	}
-	return &Decoder{cfg: cfg, h: h, priorLLR: priorLLR}
+	n, m := h.Cols(), h.Rows()
+	augT := gf2.HStack(h, gf2.Eye(m))
+	return &Decoder{
+		cfg:      cfg,
+		h:        h,
+		hc:       gf2.CSCFromDense(h),
+		priorLLR: priorLLR,
+		augT:     augT,
+		aug:      augT.Clone(),
+		e:        gf2.NewDense(m, m),
+		sorter:   argSorter{idx: make([]int, n)},
+		pivCols:  make([]int, 0, m),
+		isPivot:  make([]bool, n),
+		nonPiv:   make([]int, 0, n),
+		flips:    make([]int, 0, cfg.Lambda),
+		b:        gf2.NewVec(m),
+		rb:       gf2.NewVec(m),
+		cand:     gf2.NewVec(n),
+		best:     gf2.NewVec(n),
+	}
 }
 
 // Decode returns the OSD estimate for the syndrome given per-mechanism
 // soft reliabilities (BP posteriors: negative = likely flipped). If
 // soft is nil the prior LLRs are used. The result always satisfies
 // H·e = s when the syndrome is consistent; otherwise a best-effort
-// vector is returned.
+// vector is returned. The returned vector is owned by the decoder and
+// valid until the next Decode call.
 func (d *Decoder) Decode(syndrome gf2.Vec, soft []float64) gf2.Vec {
 	n := d.h.Cols()
 	m := d.h.Rows()
@@ -75,16 +124,17 @@ func (d *Decoder) Decode(syndrome gf2.Vec, soft []float64) gf2.Vec {
 		soft = d.priorLLR
 	}
 	// Rank columns most-likely-error first (ascending soft LLR).
-	order := make([]int, n)
+	order := d.sorter.idx
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return soft[order[a]] < soft[order[b]] })
+	d.sorter.key = soft
+	sort.Stable(&d.sorter)
 
 	// Eliminate [H | I] with pivot preference following the order. The
 	// row transform E lets us solve for arbitrary right-hand sides.
-	aug := gf2.HStack(d.h, gf2.Eye(m))
-	pivCols := make([]int, 0, m)
+	d.aug.CopyFrom(d.augT)
+	d.pivCols = d.pivCols[:0]
 	r := 0
 	for _, c := range order {
 		if r >= m {
@@ -92,7 +142,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec, soft []float64) gf2.Vec {
 		}
 		p := -1
 		for i := r; i < m; i++ {
-			if aug.At(i, c) {
+			if d.aug.At(i, c) {
 				p = i
 				break
 			}
@@ -100,102 +150,97 @@ func (d *Decoder) Decode(syndrome gf2.Vec, soft []float64) gf2.Vec {
 		if p < 0 {
 			continue
 		}
-		aug.SwapRows(r, p)
+		d.aug.SwapRows(r, p)
 		for i := 0; i < m; i++ {
-			if i != r && aug.At(i, c) {
-				aug.RowXor(i, r)
+			if i != r && d.aug.At(i, c) {
+				d.aug.RowXor(i, r)
 			}
 		}
-		pivCols = append(pivCols, c)
+		d.pivCols = append(d.pivCols, c)
 		r++
 	}
-	e := aug.Submatrix(0, m, n, n+m) // row transform: e·H has identity on pivots
+	// Row transform: e·H has identity on the pivot columns.
+	d.aug.SubmatrixInto(d.e, 0, m, n, n+m)
 
-	isPivot := make([]bool, n)
-	for _, c := range pivCols {
-		isPivot[c] = true
+	for i := range d.isPivot {
+		d.isPivot[i] = false
+	}
+	for _, c := range d.pivCols {
+		d.isPivot[c] = true
 	}
 	// Least-reliable non-pivot columns, most-likely-error first.
-	var nonPiv []int
+	d.nonPiv = d.nonPiv[:0]
 	for _, c := range order {
-		if !isPivot[c] {
-			nonPiv = append(nonPiv, c)
+		if !d.isPivot[c] {
+			d.nonPiv = append(d.nonPiv, c)
 		}
 	}
 
-	solve := func(flips []int) (gf2.Vec, bool) {
-		b := syndrome.Clone()
-		for _, c := range flips {
-			b.Xor(d.h.Col(c))
-		}
-		rb := e.MulVec(b)
-		// Consistency: rows beyond the rank must be zero.
-		for i := len(pivCols); i < m; i++ {
-			if rb.Get(i) {
-				return gf2.Vec{}, false
-			}
-		}
-		out := gf2.NewVec(n)
-		for i, c := range pivCols {
-			if rb.Get(i) {
-				out.Set(c, true)
-			}
-		}
-		for _, c := range flips {
-			out.Flip(c)
-		}
-		return out, true
-	}
-
-	weight := func(v gf2.Vec) float64 {
-		w := 0.0
-		for _, j := range v.Ones() {
-			w += d.priorLLR[j]
-		}
-		return w
-	}
-
-	best, ok := solve(nil)
-	bestW := math.Inf(1)
-	if ok {
-		bestW = weight(best)
-	}
+	d.bestW = math.Inf(1)
+	d.try(syndrome, nil)
 	if d.cfg.Method == CombinationSweep || d.cfg.Method == Exhaustive {
 		t := d.cfg.Order
-		if t > len(nonPiv) {
-			t = len(nonPiv)
-		}
-		try := func(flips []int) {
-			cand, ok := solve(flips)
-			if !ok {
-				return
-			}
-			if w := weight(cand); w < bestW {
-				best, bestW = cand, w
-			}
+		if t > len(d.nonPiv) {
+			t = len(d.nonPiv)
 		}
 		lambda := 2
 		if d.cfg.Method == Exhaustive {
 			lambda = d.cfg.Lambda
 		}
-		var rec func(start int, flips []int)
-		rec = func(start int, flips []int) {
-			if len(flips) > 0 {
-				try(flips)
-			}
-			if len(flips) == lambda {
-				return
-			}
-			for a := start; a < t; a++ {
-				rec(a+1, append(flips, nonPiv[a]))
-			}
-		}
-		rec(0, nil)
+		d.flips = d.flips[:0]
+		d.sweep(syndrome, 0, t, lambda)
 	}
-	if math.IsInf(bestW, 1) {
+	if math.IsInf(d.bestW, 1) {
 		// Inconsistent system (should not happen for sampled syndromes);
 		// return the unconstrained hard decision.
-		return gf2.NewVec(n)
+		d.best.Zero()
 	}
-	return best
+	return d.best
+}
+
+// sweep recursively tries every flip subset of size ≤ lambda among the t
+// least-reliable non-pivot positions, reusing d.flips as the subset
+// stack.
+func (d *Decoder) sweep(syndrome gf2.Vec, start, t, lambda int) {
+	if len(d.flips) > 0 {
+		d.try(syndrome, d.flips)
+	}
+	if len(d.flips) == lambda {
+		return
+	}
+	for a := start; a < t; a++ {
+		d.flips = append(d.flips, d.nonPiv[a])
+		d.sweep(syndrome, a+1, t, lambda)
+		d.flips = d.flips[:len(d.flips)-1]
+	}
+}
+
+// try solves for the candidate with the given non-pivot flips and keeps
+// it if it beats the running best.
+func (d *Decoder) try(syndrome gf2.Vec, flips []int) {
+	m := d.h.Rows()
+	d.b.CopyFrom(syndrome)
+	for _, c := range flips {
+		d.hc.XorColInto(d.b, c)
+	}
+	d.e.MulVecInto(d.rb, d.b)
+	// Consistency: rows beyond the rank must be zero.
+	for i := len(d.pivCols); i < m; i++ {
+		if d.rb.Get(i) {
+			return
+		}
+	}
+	d.cand.Zero()
+	for i, c := range d.pivCols {
+		if d.rb.Get(i) {
+			d.cand.Set(c, true)
+		}
+	}
+	for _, c := range flips {
+		d.cand.Flip(c)
+	}
+	if w := d.cand.WeightSum(d.priorLLR); w < d.bestW {
+		d.best.CopyFrom(d.cand)
+		d.bestW = w
+	}
 }

@@ -78,6 +78,10 @@ func RunMemory(model *dem.Model, factory core.Factory, cfg MemoryConfig) LERResu
 	stop := func() bool {
 		return cfg.MaxFailures > 0 && totalFails.Load() >= int64(cfg.MaxFailures)
 	}
+	// Flat read-only kernels shared by all workers for the per-round
+	// syndrome/observable products.
+	mechCSC := gf2.CSCFromSparse(model.Mech)
+	obsCSC := gf2.CSCFromSparse(model.Obs)
 	var wg sync.WaitGroup
 	perWorker := (cfg.Shots + cfg.Workers - 1) / cfg.Workers
 	for w := 0; w < cfg.Workers; w++ {
@@ -87,18 +91,26 @@ func RunMemory(model *dem.Model, factory core.Factory, cfg MemoryConfig) LERResu
 			dec := factory()
 			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)+1))
 			local := tally{}
+			// Worker-local round scratch, reused across every shot.
+			mech := gf2.NewVec(model.NumMech())
+			syn := gf2.NewVec(model.NumDet)
+			obs := gf2.NewVec(model.NumObs)
+			actual := gf2.NewVec(model.NumObs)
+			predicted := gf2.NewVec(model.NumObs)
 			for shot := 0; shot < perWorker; shot++ {
 				if shot%32 == 0 && stop() {
 					break
 				}
-				actual := gf2.NewVec(model.NumObs)
-				predicted := gf2.NewVec(model.NumObs)
+				actual.Zero()
+				predicted.Zero()
 				for round := 0; round < cfg.Rounds; round++ {
-					mech := model.Sample(rng)
-					syn := model.Syndrome(mech)
-					actual.Xor(model.Observables(mech))
+					model.SampleInto(mech, rng)
+					mechCSC.MulVecInto(syn, mech)
+					obsCSC.MulVecInto(obs, mech)
+					actual.Xor(obs)
 					est, stats := dec.Decode(syn)
-					predicted.Xor(model.Observables(est))
+					obsCSC.MulVecInto(obs, est)
+					predicted.Xor(obs)
 					local.sumBP += stats.BPIters
 					if stats.BPIters > local.maxBP {
 						local.maxBP = stats.BPIters
@@ -194,9 +206,11 @@ type LatencyResult struct {
 func MeasureLatency(model *dem.Model, dec core.Decoder, shots int, seed uint64) LatencyResult {
 	rng := rand.New(rand.NewPCG(seed, 99))
 	durs := make([]time.Duration, 0, shots)
+	e := gf2.NewVec(model.NumMech())
+	s := gf2.NewVec(model.NumDet)
 	for i := 0; i < shots; i++ {
-		e := model.Sample(rng)
-		s := model.Syndrome(e)
+		model.SampleInto(e, rng)
+		model.SyndromeInto(s, e)
 		t0 := time.Now()
 		dec.Decode(s)
 		durs = append(durs, time.Since(t0))

@@ -6,30 +6,57 @@ import "vegapunk/internal/gf2"
 
 // Graph is the bipartite check/variable adjacency of a check matrix,
 // with a flat edge numbering: edge e connects CheckOf[e] and VarOf[e].
+// The per-node incidence lists are stored CSR-style — one shared edge-id
+// array per side plus an offsets array — so iterating a node's edges
+// walks a contiguous int32 span with no pointer chasing.
 type Graph struct {
 	NumChecks, NumVars int
-	// CheckEdges[c] lists the edge ids incident to check c;
-	// VarEdges[v] lists the edge ids incident to variable v.
-	CheckEdges, VarEdges [][]int
-	CheckOf, VarOf       []int
+	// CheckOf[e] and VarOf[e] are the endpoints of edge e.
+	CheckOf, VarOf []int32
+	// checkEdges[checkOff[c]:checkOff[c+1]] lists the edge ids incident
+	// to check c; varEdges[varOff[v]:varOff[v+1]] those of variable v.
+	checkOff, varOff     []int32
+	checkEdges, varEdges []int32
 }
 
-// New builds the graph of a sparse check matrix.
+// New builds the graph of a sparse check matrix. Edges are numbered
+// column-major (variable by variable, each in column-support order), so
+// a variable's edges are consecutive and a check's edges are sorted by
+// variable — the same ordering the slice-of-slices layout produced.
 func New(h *gf2.SparseCols) *Graph {
 	g := &Graph{
-		NumChecks:  h.Rows(),
-		NumVars:    h.Cols(),
-		CheckEdges: make([][]int, h.Rows()),
-		VarEdges:   make([][]int, h.Cols()),
+		NumChecks: h.Rows(),
+		NumVars:   h.Cols(),
 	}
-	for v := 0; v < h.Cols(); v++ {
+	ne := h.NNZ()
+	g.CheckOf = make([]int32, 0, ne)
+	g.VarOf = make([]int32, 0, ne)
+	g.checkOff = make([]int32, g.NumChecks+1)
+	g.varOff = make([]int32, g.NumVars+1)
+	for v := 0; v < g.NumVars; v++ {
 		for _, c := range h.ColSupport(v) {
-			e := len(g.CheckOf)
-			g.CheckOf = append(g.CheckOf, c)
-			g.VarOf = append(g.VarOf, v)
-			g.CheckEdges[c] = append(g.CheckEdges[c], e)
-			g.VarEdges[v] = append(g.VarEdges[v], e)
+			g.CheckOf = append(g.CheckOf, int32(c))
+			g.VarOf = append(g.VarOf, int32(v))
+			g.checkOff[c+1]++
 		}
+		g.varOff[v+1] = int32(len(g.VarOf))
+	}
+	for c := 0; c < g.NumChecks; c++ {
+		g.checkOff[c+1] += g.checkOff[c]
+	}
+	// A variable's edges are simply consecutive ids; a check's edges are
+	// placed by a counting pass over ascending edge id.
+	g.varEdges = make([]int32, ne)
+	for e := range g.varEdges {
+		g.varEdges[e] = int32(e)
+	}
+	g.checkEdges = make([]int32, ne)
+	next := make([]int32, g.NumChecks)
+	copy(next, g.checkOff[:g.NumChecks])
+	for e := 0; e < ne; e++ {
+		c := g.CheckOf[e]
+		g.checkEdges[next[c]] = int32(e)
+		next[c]++
 	}
 	return g
 }
@@ -37,8 +64,22 @@ func New(h *gf2.SparseCols) *Graph {
 // NumEdges returns the number of Tanner graph edges (matrix nonzeros).
 func (g *Graph) NumEdges() int { return len(g.CheckOf) }
 
+// CheckEdges returns the edge ids incident to check c (ascending, i.e.
+// sorted by variable). The span aliases the graph's storage: no
+// allocation, must not be modified.
+func (g *Graph) CheckEdges(c int) []int32 {
+	return g.checkEdges[g.checkOff[c]:g.checkOff[c+1]]
+}
+
+// VarEdges returns the edge ids incident to variable v (consecutive by
+// construction). The span aliases the graph's storage: no allocation,
+// must not be modified.
+func (g *Graph) VarEdges(v int) []int32 {
+	return g.varEdges[g.varOff[v]:g.varOff[v+1]]
+}
+
 // CheckDegree returns the degree of check c.
-func (g *Graph) CheckDegree(c int) int { return len(g.CheckEdges[c]) }
+func (g *Graph) CheckDegree(c int) int { return int(g.checkOff[c+1] - g.checkOff[c]) }
 
 // VarDegree returns the degree of variable v.
-func (g *Graph) VarDegree(v int) int { return len(g.VarEdges[v]) }
+func (g *Graph) VarDegree(v int) int { return int(g.varOff[v+1] - g.varOff[v]) }

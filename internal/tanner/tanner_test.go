@@ -28,13 +28,13 @@ func TestGraphStructure(t *testing.T) {
 	for e := 0; e < g.NumEdges(); e++ {
 		c, v := g.CheckOf[e], g.VarOf[e]
 		foundC, foundV := false, false
-		for _, e2 := range g.CheckEdges[c] {
-			if e2 == e {
+		for _, e2 := range g.CheckEdges(int(c)) {
+			if int(e2) == e {
 				foundC = true
 			}
 		}
-		for _, e2 := range g.VarEdges[v] {
-			if e2 == e {
+		for _, e2 := range g.VarEdges(int(v)) {
+			if int(e2) == e {
 				foundV = true
 			}
 		}
