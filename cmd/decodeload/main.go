@@ -1,0 +1,197 @@
+// Command decodeload is the load generator for vegapunkd: it samples
+// errors from the same noise model the daemon serves, posts the
+// syndromes in batches over concurrent connections, checks the
+// predicted logical observables against the truth, and prints a
+// reproducible per-run summary (QPS, latency percentiles, logical
+// failure rate).
+//
+//	decodeload -addr http://127.0.0.1:8471 -code "BB [[72,12,6]]" \
+//	    -decoder bp -p 0.001 -requests 200 -batch 8 -concurrency 4 -seed 1
+//
+// Every sampled error is derived from (-seed, request index), so a
+// given flag set replays the identical workload regardless of
+// concurrency — future perf PRs can track the same benchmark.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vegapunk/internal/exp"
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/serve"
+)
+
+type decodeRequest struct {
+	Model     string   `json:"model"`
+	Syndromes []string `json:"syndromes"`
+}
+
+type decodeResult struct {
+	Observables string `json:"observables"`
+	Satisfied   bool   `json:"satisfied"`
+}
+
+type decodeResponse struct {
+	Results []decodeResult `json:"results"`
+}
+
+// workItem is one pre-generated HTTP request with its ground truth.
+type workItem struct {
+	body   []byte
+	actual []string // true observable flips per syndrome
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("decodeload", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8471", "daemon base URL")
+	codeName := fs.String("code", "BB [[72,12,6]]", "benchmark code name (must match the daemon)")
+	p := fs.Float64("p", 0.001, "physical error rate (must match the daemon)")
+	decoder := fs.String("decoder", "bp", "decoder flag name used at the daemon (derives the model key)")
+	modelKey := fs.String("model", "", "explicit model key (overrides -code/-decoder/-p derivation)")
+	requests := fs.Int("requests", 200, "number of HTTP requests to send")
+	batchSize := fs.Int("batch", 8, "syndromes per request")
+	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
+	seed := fs.Uint64("seed", 1, "reproducible workload seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	fs.Parse(os.Args[1:])
+
+	logger := log.New(os.Stderr, "decodeload ", log.LstdFlags)
+
+	b, ok := findBenchmark(*codeName)
+	if !ok {
+		logger.Printf("unknown code %q", *codeName)
+		return 2
+	}
+	model, err := exp.NewWorkspace().Model(b, *p)
+	if err != nil {
+		logger.Printf("build model: %v", err)
+		return 1
+	}
+	key := *modelKey
+	if key == "" {
+		key = serve.ModelKey(b.Name, *decoder, *p)
+	}
+
+	// Pre-generate the whole workload so concurrency cannot change what
+	// is sampled: request i always carries the same syndromes.
+	items := make([]workItem, *requests)
+	e := gf2.NewVec(model.NumMech())
+	for i := range items {
+		rng := rand.New(rand.NewPCG(*seed, uint64(i)))
+		req := decodeRequest{Model: key, Syndromes: make([]string, *batchSize)}
+		items[i].actual = make([]string, *batchSize)
+		for j := 0; j < *batchSize; j++ {
+			model.SampleInto(e, rng)
+			req.Syndromes[j] = model.Syndrome(e).String()
+			items[i].actual[j] = model.Observables(e).String()
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			logger.Printf("marshal: %v", err)
+			return 1
+		}
+		items[i].body = body
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  int
+		syndromes int
+		httpErrs  int
+		wg        sync.WaitGroup
+	)
+	t0 := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(items)) {
+					return
+				}
+				item := &items[i]
+				start := time.Now()
+				resp, err := client.Post(*addr+"/v1/decode", "application/json", bytes.NewReader(item.body))
+				lat := time.Since(start)
+				var out decodeResponse
+				bad := false
+				if err != nil {
+					bad = true
+				} else {
+					raw, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if rerr != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &out) != nil {
+						bad = true
+					}
+				}
+				mu.Lock()
+				if bad {
+					httpErrs++
+				} else {
+					latencies = append(latencies, lat)
+					for j, res := range out.Results {
+						syndromes++
+						if j < len(item.actual) && res.Observables != item.actual[j] {
+							failures++
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	if len(latencies) == 0 {
+		logger.Printf("no successful requests (http_errors=%d); is vegapunkd up at %s with model %s?", httpErrs, *addr, key)
+		return 1
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) time.Duration { return latencies[int(q*float64(len(latencies)-1))] }
+	qps := float64(len(latencies)) / elapsed.Seconds()
+	sps := float64(syndromes) / elapsed.Seconds()
+	failRate := float64(failures) / float64(max(syndromes, 1))
+
+	// The one-line summary is the trackable serving benchmark: keep the
+	// field set stable across PRs.
+	fmt.Printf("decodeload: model=%s seed=%d requests=%d batch=%d concurrency=%d "+
+		"ok=%d http_errors=%d syndromes=%d elapsed=%s qps=%.1f syndromes_per_sec=%.1f "+
+		"p50=%s p99=%s max=%s logical_failures=%d failure_rate=%.3g\n",
+		key, *seed, *requests, *batchSize, *concurrency,
+		len(latencies), httpErrs, syndromes, elapsed.Round(time.Millisecond), qps, sps,
+		pct(0.50), pct(0.99), latencies[len(latencies)-1], failures, failRate)
+	if httpErrs > 0 {
+		return 1
+	}
+	return 0
+}
+
+func findBenchmark(name string) (exp.Benchmark, bool) {
+	for _, b := range exp.Benchmarks() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return exp.Benchmark{}, false
+}

@@ -1,0 +1,155 @@
+// Command vegapunkd is the online decoding daemon: it registers one or
+// more (code, noise, decoder) models and serves syndrome decoding over
+// a JSON HTTP API with micro-batching, decoder pooling and Prometheus
+// metrics.
+//
+//	vegapunkd -addr :8471 -code "BB [[72,12,6]]" -p 0.001 -decoders bp,vegapunk
+//
+// Endpoints:
+//
+//	POST /v1/decode   {"model": "<key>", "syndrome": "0101..."} or {"syndromes": [...]}
+//	GET  /v1/models   registered model keys and dimensions
+//	GET  /metrics     Prometheus text format
+//	GET  /healthz     liveness
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, queues
+// flush, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vegapunk/internal/core"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/exp"
+	"vegapunk/internal/hier"
+	"vegapunk/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("vegapunkd", flag.ExitOnError)
+	addr := fs.String("addr", ":8471", "listen address")
+	codeName := fs.String("code", "BB [[72,12,6]]", "benchmark code name (see 'vegapunk codes')")
+	p := fs.Float64("p", 0.001, "physical error rate of the served noise model")
+	decoders := fs.String("decoders", "vegapunk,bp", "comma-separated decoders to register: vegapunk, bp, bp+osd, bp+lsd, bpgd")
+	bpIters := fs.Int("bp-iters", 100, "BP iteration cap for the bp decoder")
+	pool := fs.Int("pool", 0, "decoder pool size per model (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 16, "micro-batch flush size")
+	wait := fs.Duration("wait", 200*time.Microsecond, "micro-batch flush deadline under saturation")
+	inflight := fs.Int("inflight", 64, "max concurrently admitted HTTP decode requests")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-request decode deadline")
+	fs.Parse(os.Args[1:])
+
+	logger := log.New(os.Stderr, "vegapunkd ", log.LstdFlags|log.Lmicroseconds)
+
+	b, ok := findBenchmark(*codeName)
+	if !ok {
+		logger.Printf("unknown code %q; run 'vegapunk codes' for the registry", *codeName)
+		return 2
+	}
+	ws := exp.NewWorkspace()
+	model, err := ws.Model(b, *p)
+	if err != nil {
+		logger.Printf("build model: %v", err)
+		return 1
+	}
+
+	srv := serve.NewServer(serve.Config{
+		MaxBatch:       *batch,
+		MaxWait:        *wait,
+		PoolSize:       *pool,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+	})
+	for _, name := range strings.Split(*decoders, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		factory, err := buildFactory(ws, b, model, name, *bpIters)
+		if err != nil {
+			logger.Printf("%v", err)
+			return 1
+		}
+		display := factory().Name()
+		key := serve.ModelKey(b.Name, name, *p)
+		if _, err := srv.Register(key, model, display, factory); err != nil {
+			logger.Printf("register %s: %v", key, err)
+			return 1
+		}
+		logger.Printf("registered model=%s decoder=%s detectors=%d mechanisms=%d",
+			key, display, model.NumDet, model.NumMech())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	logger.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			logger.Printf("serve: %v", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		return 1
+	}
+	if err := <-errCh; err != nil {
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+	logger.Printf("drained, bye")
+	return 0
+}
+
+func findBenchmark(name string) (exp.Benchmark, bool) {
+	for _, b := range exp.Benchmarks() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return exp.Benchmark{}, false
+}
+
+// buildFactory maps a decoder flag name to a per-goroutine decoder
+// factory, mirroring the baseline configurations of internal/exp.
+func buildFactory(ws *exp.Workspace, b exp.Benchmark, model *dem.Model, name string, bpIters int) (core.Factory, error) {
+	switch strings.ToLower(name) {
+	case "vegapunk":
+		dcp, err := ws.Decoupling(b)
+		if err != nil {
+			return nil, fmt.Errorf("offline decoupling for %s: %w", b.Name, err)
+		}
+		return func() core.Decoder { return core.NewVegapunkFrom(model, dcp, hier.Config{}) }, nil
+	case "bp":
+		return func() core.Decoder { return core.NewBP(model, bpIters) }, nil
+	case "bp+osd", "bposd":
+		return func() core.Decoder { return core.NewBPOSD(model, bpIters, 7) }, nil
+	case "bp+lsd", "bplsd":
+		return func() core.Decoder { return core.NewBPLSD(model) }, nil
+	case "bpgd":
+		return func() core.Decoder { return core.NewBPGD(model) }, nil
+	}
+	return nil, fmt.Errorf("unknown decoder %q (want vegapunk, bp, bp+osd, bp+lsd or bpgd)", name)
+}

@@ -36,8 +36,18 @@ type Stats struct {
 // Decoder is the uniform syndrome-decoding interface. The returned
 // vector is owned by the decoder and only valid until the next Decode
 // call on the same instance (every underlying decoder reuses its result
-// buffer); callers that need to retain it must Clone it. Instances are
-// not safe for concurrent use — build one per goroutine via a Factory.
+// buffer); callers that need to retain it must Clone it (or copy it out
+// via gf2.CopyVec). Instances are not safe for concurrent use — build
+// one per goroutine via a Factory.
+//
+// Pooling contract: instances may be handed between goroutines
+// sequentially (e.g. serve.Pool) because every decoder fully
+// re-initializes its scratch from the syndrome at the top of Decode —
+// results depend only on the argument, never on call history, so no
+// Reset hook is needed between users. Two rules make that safe: the
+// handoff must establish a happens-before edge (the pool's channel
+// does), and any result that outlives the holder's turn must be copied
+// out before the instance is released.
 type Decoder interface {
 	// Name identifies the decoder in experiment output.
 	Name() string

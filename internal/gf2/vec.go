@@ -151,6 +151,20 @@ func (v Vec) Clone() Vec {
 	return c
 }
 
+// CopyVec copies src into *dst, reusing dst's storage when the lengths
+// already match and reallocating otherwise. This is the pool-boundary
+// copy-out helper: a decoder's returned vector is only valid until the
+// next Decode on the same instance, so any result that escapes the
+// goroutine (or pool slot) owning the decoder must be copied first.
+// With a reused dst the steady state is allocation-free.
+func CopyVec(dst *Vec, src Vec) {
+	if dst.n != src.n || len(dst.w) != len(src.w) {
+		*dst = src.Clone()
+		return
+	}
+	copy(dst.w, src.w)
+}
+
 // CopyFrom overwrites v with the bits of u. Lengths must match.
 func (v Vec) CopyFrom(u Vec) {
 	if v.n != u.n {

@@ -182,3 +182,36 @@ func TestVecPanicsOnMismatch(t *testing.T) {
 	a, b := NewVec(5), NewVec(6)
 	a.Xor(b)
 }
+
+func TestCopyVec(t *testing.T) {
+	src := VecFromInts([]int{1, 0, 1, 1, 0, 1})
+
+	// Empty destination: allocates an independent copy.
+	var dst Vec
+	CopyVec(&dst, src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyVec into empty dst mismatch")
+	}
+	src.Flip(0)
+	if dst.Equal(src) {
+		t.Fatal("CopyVec aliases src storage")
+	}
+
+	// Matching destination: storage is reused in place.
+	before := dst
+	CopyVec(&dst, src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyVec into sized dst mismatch")
+	}
+	if &before.w[0] != &dst.w[0] {
+		t.Fatal("CopyVec reallocated a correctly-sized dst")
+	}
+
+	// Length change: reallocates to match.
+	big := NewVec(200)
+	big.Set(137, true)
+	CopyVec(&dst, big)
+	if !dst.Equal(big) {
+		t.Fatal("CopyVec resize mismatch")
+	}
+}

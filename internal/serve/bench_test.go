@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkPoolAcquireRelease measures the pool boundary itself.
+// Must stay at 0 allocs/op.
+func BenchmarkPoolAcquireRelease(b *testing.B) {
+	model, factory := testModel(b)
+	_ = model
+	p := NewPool(factory, 4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := p.Acquire(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Release(d)
+	}
+}
+
+// BenchmarkServiceDecode measures the full steady-state serving hot
+// path — submit, micro-batch dispatch, pooled decode, copy-out, collect
+// — excluding the JSON layer. The target is 0 allocs/op on top of the
+// decoder itself (which is itself allocation-free, see
+// internal/README.md).
+func BenchmarkServiceDecode(b *testing.B) {
+	model, factory := testModel(b)
+	svc := newService("bench", model, "BP(30)", factory, Config{
+		MaxBatch: 1, PoolSize: 2, Workers: 2,
+	})
+	defer svc.Close()
+	syndromes := sampleSyndromes(model, 64, 5)
+	ctx := context.Background()
+	var res Result
+	// Warm the request/batch freelists and the result buffers.
+	for _, s := range syndromes {
+		if err := svc.DecodeInto(ctx, &res, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.DecodeInto(ctx, &res, syndromes[i&63]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceDecodeParallel exercises batch dispatch under
+// concurrent clients: multiple submitters fill micro-batches that fan
+// out across the pool.
+func BenchmarkServiceDecodeParallel(b *testing.B) {
+	model, factory := testModel(b)
+	svc := newService("bench", model, "BP(30)", factory, Config{
+		MaxBatch: 8, MaxWait: 20 * time.Microsecond,
+	})
+	defer svc.Close()
+	syndromes := sampleSyndromes(model, 64, 5)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var res Result
+		i := 0
+		for pb.Next() {
+			if err := svc.DecodeInto(ctx, &res, syndromes[i&63]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+
+	"vegapunk/internal/core"
+)
+
+func defaultPoolSize() int { return runtime.GOMAXPROCS(0) }
+
+// Pool multiplexes single-goroutine decoder instances across concurrent
+// callers. Decoders own their scratch and their returned vectors ("owned
+// until next Decode", internal/README.md), so an instance must never be
+// used by two goroutines at once and a result must be copied out (see
+// gf2.CopyVec) before the instance is released. The pool provides the
+// exclusivity: Acquire hands a caller sole use of an instance until the
+// matching Release, constructing instances lazily up to a bound.
+//
+// Steady-state Acquire/Release is allocation-free (two channel
+// operations and an atomic counter).
+type Pool struct {
+	factory core.Factory
+	idle    chan core.Decoder
+	permits chan struct{}
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	created atomic.Int64
+}
+
+// NewPool builds a pool bounded at size instances (size ≤ 0 uses
+// runtime.GOMAXPROCS). No decoder is constructed until first use.
+func NewPool(factory core.Factory, size int) *Pool {
+	if size <= 0 {
+		size = defaultPoolSize()
+	}
+	p := &Pool{
+		factory: factory,
+		idle:    make(chan core.Decoder, size),
+		permits: make(chan struct{}, size),
+	}
+	for i := 0; i < size; i++ {
+		p.permits <- struct{}{}
+	}
+	return p
+}
+
+// Acquire returns a decoder for exclusive use until Release. It prefers
+// an idle instance (pool hit), lazily constructs one while under the
+// size bound (pool miss), and otherwise blocks until an instance is
+// released or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) (core.Decoder, error) {
+	select {
+	case d := <-p.idle:
+		p.hits.Add(1)
+		return d, nil
+	default:
+	}
+	select {
+	case d := <-p.idle:
+		p.hits.Add(1)
+		return d, nil
+	case <-p.permits:
+		p.misses.Add(1)
+		p.created.Add(1)
+		return p.factory(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns an acquired decoder to the pool. The caller must not
+// touch the instance — or any vector it returned — afterwards.
+func (p *Pool) Release(d core.Decoder) {
+	select {
+	case p.idle <- d:
+	default:
+		// idle has capacity size and at most size instances exist, so
+		// this is only reachable by releasing a decoder that was never
+		// acquired.
+		panic("serve: Pool.Release without matching Acquire")
+	}
+}
+
+// Size is the instance bound.
+func (p *Pool) Size() int { return cap(p.idle) }
+
+// Created is the number of instances constructed so far.
+func (p *Pool) Created() int64 { return p.created.Load() }
+
+// Hits counts acquisitions served by an idle instance.
+func (p *Pool) Hits() uint64 { return p.hits.Load() }
+
+// Misses counts acquisitions that lazily constructed an instance.
+func (p *Pool) Misses() uint64 { return p.misses.Load() }

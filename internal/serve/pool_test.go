@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"vegapunk/internal/core"
+	"vegapunk/internal/gf2"
+)
+
+// countingDecoder records which goroutines touch it; concurrent use of
+// one instance is the bug the pool exists to prevent.
+type countingDecoder struct {
+	mu     sync.Mutex
+	inUse  bool
+	out    gf2.Vec
+	shared *int // constructed-instance counter, guarded by the test mutex
+}
+
+func (d *countingDecoder) Name() string { return "counting" }
+
+func (d *countingDecoder) Decode(s gf2.Vec) (gf2.Vec, core.Stats) {
+	d.mu.Lock()
+	if d.inUse {
+		panic("countingDecoder used concurrently")
+	}
+	d.inUse = true
+	d.mu.Unlock()
+	time.Sleep(time.Microsecond)
+	d.mu.Lock()
+	d.inUse = false
+	d.mu.Unlock()
+	return d.out, core.Stats{}
+}
+
+func TestPoolBoundedAndExclusive(t *testing.T) {
+	var mu sync.Mutex
+	created := 0
+	factory := func() core.Decoder {
+		mu.Lock()
+		created++
+		mu.Unlock()
+		return &countingDecoder{out: gf2.NewVec(8)}
+	}
+	const size = 3
+	p := NewPool(factory, size)
+	if p.Created() != 0 {
+		t.Fatal("pool constructed decoders eagerly")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d, err := p.Acquire(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				d.Decode(gf2.NewVec(0))
+				p.Release(d)
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if created > size {
+		t.Fatalf("factory ran %d times, pool bound is %d", created, size)
+	}
+	if int64(created) != p.Created() {
+		t.Fatalf("Created() = %d, factory ran %d times", p.Created(), created)
+	}
+	if p.Hits()+p.Misses() != 16*50 {
+		t.Fatalf("hits+misses = %d, want %d", p.Hits()+p.Misses(), 16*50)
+	}
+}
+
+func TestPoolAcquireHonorsContext(t *testing.T) {
+	p := NewPool(func() core.Decoder { return &countingDecoder{} }, 1)
+	d, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	p.Release(d)
+	if _, err := p.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}

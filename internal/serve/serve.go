@@ -1,0 +1,111 @@
+// Package serve turns the decoder library into an online decoding
+// service: the workload shape of the paper's real-time setting, where
+// syndromes stream in under a latency budget instead of being replayed
+// offline.
+//
+// The package composes four pieces:
+//
+//   - Pool: a bounded decoder pool per registered model that safely
+//     multiplexes the single-goroutine, scratch-owning decoders (see
+//     internal/README.md "owned until next Decode") across concurrent
+//     requests. Lazy construction, acquire/release, and a mandatory
+//     copy-out of every decoder-owned result at the pool boundary.
+//   - Service: a micro-batching queue in front of each pool. Requests
+//     accumulate until MaxBatch or MaxWait, then a batch fans out over
+//     long-lived workers that draw decoders from the pool. The steady
+//     state (pooled requests, recycled batches, reused scratch) is
+//     allocation-free on top of the decode itself.
+//   - Server: a stdlib net/http JSON API (POST /v1/decode single or
+//     batch, GET /v1/models) with request validation, per-request
+//     timeouts, bounded in-flight admission (503 + Retry-After on
+//     overload) and graceful drain.
+//   - Metrics: atomic counters/gauges/histograms rendered in Prometheus
+//     text format at GET /metrics, with zero allocations on the
+//     observation path.
+package serve
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config shapes the serving subsystem. The zero value is usable;
+// unset fields take the defaults documented per field.
+type Config struct {
+	// MaxBatch flushes the micro-batching queue once this many
+	// syndromes are pending (default 16).
+	MaxBatch int
+	// MaxWait bounds how long a short batch may wait for more
+	// syndromes (default 200µs, subject to OS timer granularity). The
+	// batcher only waits at all while every worker is busy — with idle
+	// dispatch capacity it flushes immediately, so MaxWait is a
+	// saturation-regime deadline, not a floor on light-load latency.
+	MaxWait time.Duration
+	// PoolSize bounds the number of decoder instances constructed per
+	// model (default runtime.GOMAXPROCS(0)).
+	PoolSize int
+	// Workers is the number of long-lived dispatch goroutines per model
+	// (default PoolSize).
+	Workers int
+	// MaxInFlight bounds concurrently admitted HTTP decode requests;
+	// excess requests receive 503 + Retry-After (default 64).
+	MaxInFlight int
+	// RequestTimeout is the per-request decode deadline (default 2s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 200 * time.Microsecond
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = defaultPoolSize()
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.PoolSize
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// ModelKey derives the canonical registry key for a (code, decoder,
+// physical error rate) triple, e.g.
+//
+//	ModelKey("BB [[72,12,6]]", "BP", 0.001) == "bb-72-12-6/bp/p0.001"
+//
+// cmd/vegapunkd registers models under these keys and cmd/decodeload
+// derives the same key client-side.
+func ModelKey(codeName, decoderName string, p float64) string {
+	return slug(codeName) + "/" + slug(decoderName) + "/p" + strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+// slug lowercases s and collapses every run of non-alphanumeric
+// characters into a single '-'.
+func slug(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		alnum := r >= 'a' && r <= 'z' || r >= '0' && r <= '9'
+		switch {
+		case alnum:
+			if dash && sb.Len() > 0 {
+				sb.WriteByte('-')
+			}
+			dash = false
+			sb.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vegapunk/internal/core"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+// ErrClosed is returned by decode calls on a closed (drained) service.
+var ErrClosed = errors.New("serve: service closed")
+
+// request state machine: a waiter and a worker race on completion.
+const (
+	reqPending   int32 = iota // worker will complete, waiter is waiting
+	reqCompleted              // worker finished and signalled done
+	reqAbandoned              // waiter gave up (ctx); worker recycles
+)
+
+// request is a pooled unit of work. All vectors are owned by the
+// request and sized for the service's model, so the steady state reuses
+// them without allocating. done is buffered (capacity 1) so a worker's
+// completion signal never blocks.
+type request struct {
+	syndrome    gf2.Vec
+	correction  gf2.Vec
+	observables gf2.Vec
+	stats       core.Stats
+	satisfied   bool
+	state       atomic.Int32
+	done        chan struct{}
+}
+
+// batch groups requests for one dispatch. Workers claim items by
+// incrementing next; the batcher hands the batch to k workers and the
+// last of the k to finish recycles it (holders refcount).
+type batch struct {
+	reqs    []*request
+	next    atomic.Int64
+	holders atomic.Int64
+}
+
+// Result is a caller-owned decode result. Reusing one Result across
+// calls keeps the copy-out at the pool boundary allocation-free.
+type Result struct {
+	// Correction is the estimated mechanism vector (copied out of the
+	// decoder at the pool boundary; the caller owns it).
+	Correction gf2.Vec
+	// Observables is the predicted logical observable flips of the
+	// correction.
+	Observables gf2.Vec
+	// Satisfied reports whether the correction reproduces the request
+	// syndrome exactly.
+	Satisfied bool
+	// Stats is the decoder's per-decode execution metadata.
+	Stats core.Stats
+}
+
+// Service serves decode requests for one registered model: a
+// micro-batching queue in front of a decoder pool. Construct via
+// Server.Register (or newService in tests); safe for concurrent use.
+type Service struct {
+	key         string
+	decoderName string
+	model       *dem.Model
+	mech        *gf2.CSC
+	obs         *gf2.CSC
+	pool        *Pool
+	cfg         Config
+	met         *serviceMetrics
+
+	in   chan *request
+	work chan *batch
+	// load counts dispatched-but-unfinished batch participations
+	// (holders in flight); load == Workers means saturation, the only
+	// regime where the batcher waits to grow a batch.
+	load atomic.Int64
+
+	// Freelists are bounded channels rather than sync.Pools so the
+	// steady state stays allocation-free even across GC cycles.
+	reqFree   chan *request
+	batchFree chan *batch
+
+	mu     sync.RWMutex // guards closed vs. sends on in
+	closed bool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+func newService(key string, model *dem.Model, decoderName string, factory core.Factory, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		key:         key,
+		decoderName: decoderName,
+		model:       model,
+		mech:        gf2.CSCFromSparse(model.Mech),
+		obs:         gf2.CSCFromSparse(model.Obs),
+		pool:        NewPool(factory, cfg.PoolSize),
+		cfg:         cfg,
+		met:         newServiceMetrics(),
+		in:          make(chan *request, cfg.MaxBatch),
+		work:        make(chan *batch, cfg.Workers),
+		reqFree:     make(chan *request, 4*cfg.MaxBatch),
+		batchFree:   make(chan *batch, cfg.Workers+1),
+	}
+	s.wg.Add(1 + cfg.Workers)
+	go s.batcher()
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Key is the registry key the service was registered under.
+func (s *Service) Key() string { return s.key }
+
+// DecoderName names the underlying decoder (e.g. "BP", "Vegapunk").
+func (s *Service) DecoderName() string { return s.decoderName }
+
+// Model returns the served detector error model.
+func (s *Service) Model() *dem.Model { return s.model }
+
+// Pool exposes the decoder pool (metrics, tests).
+func (s *Service) Pool() *Pool { return s.pool }
+
+// DecodeInto decodes one syndrome, blocking until the result is ready
+// or ctx is done. res is overwritten; reusing the same Result keeps the
+// call allocation-free in steady state.
+func (s *Service) DecodeInto(ctx context.Context, res *Result, syndrome gf2.Vec) error {
+	req, err := s.submit(ctx, syndrome)
+	if err != nil {
+		return err
+	}
+	return s.wait(ctx, req, res)
+}
+
+// DecodeBatchInto submits all syndromes before collecting any result,
+// so one call can fill a whole micro-batch. res must be at least as
+// long as syndromes; res[i] receives syndromes[i]'s result. On error
+// every submitted request is still collected (results before the error
+// remain valid).
+func (s *Service) DecodeBatchInto(ctx context.Context, res []Result, syndromes []gf2.Vec) error {
+	if len(res) < len(syndromes) {
+		return fmt.Errorf("serve: %d results for %d syndromes", len(res), len(syndromes))
+	}
+	reqs := make([]*request, 0, len(syndromes))
+	var firstErr error
+	for _, syn := range syndromes {
+		req, err := s.submit(ctx, syn)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		reqs = append(reqs, req)
+	}
+	for i, req := range reqs {
+		if err := s.wait(ctx, req, &res[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// submit validates the syndrome, copies it into a pooled request and
+// enqueues it on the micro-batching queue.
+func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error) {
+	if syndrome.Len() != s.model.NumDet {
+		return nil, fmt.Errorf("serve: syndrome has %d bits, model %s wants %d",
+			syndrome.Len(), s.key, s.model.NumDet)
+	}
+	req := s.getReq()
+	req.syndrome.CopyFrom(syndrome)
+	req.state.Store(reqPending)
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.putReq(req)
+		return nil, ErrClosed
+	}
+	select {
+	case s.in <- req:
+		s.mu.RUnlock()
+		s.met.queueDepth.Add(1)
+		s.met.requests.Add(1)
+		return req, nil
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		s.putReq(req)
+		return nil, ctx.Err()
+	}
+}
+
+// wait blocks for the request's completion and copies the result out.
+// If ctx wins the race the request is marked abandoned and the worker
+// recycles it; if the worker already completed, the result is used.
+func (s *Service) wait(ctx context.Context, req *request, res *Result) error {
+	select {
+	case <-req.done:
+		s.collect(req, res)
+		return nil
+	case <-ctx.Done():
+		if req.state.CompareAndSwap(reqPending, reqAbandoned) {
+			return ctx.Err()
+		}
+		// The worker completed concurrently; its done signal is
+		// buffered and must be drained before recycling.
+		<-req.done
+		s.collect(req, res)
+		return nil
+	}
+}
+
+func (s *Service) collect(req *request, res *Result) {
+	gf2.CopyVec(&res.Correction, req.correction)
+	gf2.CopyVec(&res.Observables, req.observables)
+	res.Satisfied = req.satisfied
+	res.Stats = req.stats
+	s.putReq(req)
+}
+
+// Close drains the service: pending requests are flushed and completed,
+// then the batcher and workers exit. Subsequent decode calls return
+// ErrClosed. Safe to call multiple times.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		close(s.in)
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// batcher accumulates requests into micro-batches. A batch flushes when
+// it reaches MaxBatch, when the MaxWait deadline expires, or — the
+// adaptive fast path — as soon as dispatch capacity is idle: holding a
+// request to grow the batch only pays off while every worker is busy,
+// so under light load requests dispatch immediately and under
+// saturation the backlog coalesces into full batches.
+func (s *Service) batcher() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		req, ok := <-s.in
+		if !ok {
+			close(s.work)
+			return
+		}
+		b := s.getBatch()
+		b.reqs = append(b.reqs, req)
+		timer.Reset(s.cfg.MaxWait)
+		timerLive := true
+	fill:
+		for len(b.reqs) < s.cfg.MaxBatch {
+			select {
+			case req, ok := <-s.in:
+				if !ok {
+					break fill // flush the tail; the outer receive exits
+				}
+				b.reqs = append(b.reqs, req)
+			default:
+				if s.load.Load() < int64(s.cfg.Workers) {
+					break fill // idle worker: batching gains nothing
+				}
+				select {
+				case req, ok := <-s.in:
+					if !ok {
+						break fill
+					}
+					b.reqs = append(b.reqs, req)
+				case <-timer.C:
+					timerLive = false
+					break fill
+				}
+			}
+		}
+		if timerLive && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.flush(b)
+	}
+}
+
+// flush hands the batch to up to Workers workers.
+func (s *Service) flush(b *batch) {
+	k := len(b.reqs)
+	if k > s.cfg.Workers {
+		k = s.cfg.Workers
+	}
+	b.holders.Store(int64(k))
+	s.load.Add(int64(k))
+	s.met.batches.Add(1)
+	s.met.batchSize.Observe(float64(len(b.reqs)))
+	for i := 0; i < k; i++ {
+		s.work <- b
+	}
+}
+
+// worker is a long-lived dispatch goroutine: per batch it acquires a
+// decoder from the pool, claims items until the batch is drained, and
+// releases the decoder. The last worker off a batch recycles it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	syn := gf2.NewVec(s.model.NumDet) // worker-owned syndrome-check scratch
+	for b := range s.work {
+		dec, err := s.pool.Acquire(context.Background())
+		if err != nil { // unreachable with Background, kept for safety
+			panic(err)
+		}
+		for {
+			i := b.next.Add(1) - 1
+			if i >= int64(len(b.reqs)) {
+				break
+			}
+			s.process(dec, b.reqs[i], syn)
+		}
+		s.pool.Release(dec)
+		s.load.Add(-1)
+		if b.holders.Add(-1) == 0 {
+			s.putBatch(b)
+		}
+	}
+}
+
+// process runs one decode and copies everything the caller needs out of
+// the decoder-owned result before the decoder can be reused — the pool
+// boundary ownership rule.
+func (s *Service) process(dec core.Decoder, req *request, syn gf2.Vec) {
+	t0 := time.Now()
+	est, stats := dec.Decode(req.syndrome)
+	s.met.decodeSeconds.Observe(time.Since(t0).Seconds())
+
+	gf2.CopyVec(&req.correction, est)
+	s.mech.MulVecInto(syn, est)
+	req.satisfied = syn.Equal(req.syndrome)
+	s.obs.MulVecInto(req.observables, est)
+	req.stats = stats
+	if !req.satisfied {
+		s.met.unsatisfied.Add(1)
+	}
+	s.met.queueDepth.Add(-1)
+
+	if req.state.CompareAndSwap(reqPending, reqCompleted) {
+		req.done <- struct{}{}
+	} else {
+		// The waiter abandoned the request (ctx); recycle it here.
+		s.putReq(req)
+	}
+}
+
+func (s *Service) getReq() *request {
+	select {
+	case req := <-s.reqFree:
+		return req
+	default:
+		return &request{
+			syndrome:    gf2.NewVec(s.model.NumDet),
+			correction:  gf2.NewVec(s.model.NumMech()),
+			observables: gf2.NewVec(s.model.NumObs),
+			done:        make(chan struct{}, 1),
+		}
+	}
+}
+
+func (s *Service) putReq(req *request) {
+	select {
+	case s.reqFree <- req:
+	default: // freelist full; let GC take it
+	}
+}
+
+func (s *Service) getBatch() *batch {
+	select {
+	case b := <-s.batchFree:
+		return b
+	default:
+		return &batch{reqs: make([]*request, 0, s.cfg.MaxBatch)}
+	}
+}
+
+func (s *Service) putBatch(b *batch) {
+	b.reqs = b.reqs[:0]
+	b.next.Store(0)
+	select {
+	case s.batchFree <- b:
+	default:
+	}
+}

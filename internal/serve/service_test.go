@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/core"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+// testModel builds a small, fast model: the [[72,12,6]] BB code under
+// code-capacity noise, decoded with plain BP.
+func testModel(t testing.TB) (*dem.Model, core.Factory) {
+	t.Helper()
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	return model, func() core.Decoder { return core.NewBP(model, 30) }
+}
+
+// sampleSyndromes draws n syndromes from the model, reproducibly.
+func sampleSyndromes(model *dem.Model, n int, seed uint64) []gf2.Vec {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	out := make([]gf2.Vec, n)
+	e := gf2.NewVec(model.NumMech())
+	for i := range out {
+		model.SampleInto(e, rng)
+		out[i] = model.Syndrome(e)
+	}
+	return out
+}
+
+// TestConcurrentPoolMatchesSerial is the pool-correctness keystone:
+// many goroutines hammering one service must produce bit-identical
+// corrections to a single decoder run serially over the same
+// syndromes. Run under -race this also proves the acquire/release and
+// copy-out discipline has no data races.
+func TestConcurrentPoolMatchesSerial(t *testing.T) {
+	model, factory := testModel(t)
+	const nSyn = 160
+	syndromes := sampleSyndromes(model, nSyn, 42)
+
+	// Serial reference: one decoder instance, results cloned (they are
+	// owned-until-next-Decode).
+	ref := factory()
+	want := make([]gf2.Vec, nSyn)
+	for i, s := range syndromes {
+		est, _ := ref.Decode(s)
+		want[i] = est.Clone()
+	}
+
+	svc := newService("test", model, "BP(30)", factory, Config{
+		MaxBatch: 8, MaxWait: 50 * time.Microsecond, PoolSize: 4, Workers: 4,
+	})
+	defer svc.Close()
+
+	const clients = 8
+	got := make([]gf2.Vec, nSyn)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var res Result
+			for i := c; i < nSyn; i += clients {
+				if err := svc.DecodeInto(context.Background(), &res, syndromes[i]); err != nil {
+					t.Errorf("decode %d: %v", i, err)
+					return
+				}
+				got[i] = res.Correction.Clone()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for i := range want {
+		if got[i].Len() == 0 {
+			t.Fatalf("syndrome %d never decoded", i)
+		}
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("syndrome %d: pooled correction differs from serial reference", i)
+		}
+	}
+	if created := svc.Pool().Created(); created > 4 {
+		t.Fatalf("pool constructed %d decoders, bound is 4", created)
+	}
+	if svc.met.requests.Load() != nSyn {
+		t.Fatalf("requests counter = %d, want %d", svc.met.requests.Load(), nSyn)
+	}
+	if svc.met.queueDepth.Load() != 0 {
+		t.Fatalf("queue depth = %d after drain, want 0", svc.met.queueDepth.Load())
+	}
+}
+
+func TestDecodeBatchInto(t *testing.T) {
+	model, factory := testModel(t)
+	svc := newService("test", model, "BP(30)", factory, Config{MaxBatch: 4})
+	defer svc.Close()
+
+	syndromes := sampleSyndromes(model, 10, 1)
+	results := make([]Result, len(syndromes))
+	if err := svc.DecodeBatchInto(context.Background(), results, syndromes); err != nil {
+		t.Fatal(err)
+	}
+	mech := gf2.CSCFromSparse(model.Mech)
+	syn := gf2.NewVec(model.NumDet)
+	for i, res := range results {
+		mech.MulVecInto(syn, res.Correction)
+		if sat := syn.Equal(syndromes[i]); sat != res.Satisfied {
+			t.Fatalf("result %d: Satisfied=%v but syndrome check says %v", i, res.Satisfied, sat)
+		}
+	}
+	if svc.met.batches.Load() == 0 {
+		t.Fatal("no batches recorded")
+	}
+}
+
+func TestSubmitRejectsWrongLength(t *testing.T) {
+	model, factory := testModel(t)
+	svc := newService("test", model, "BP(30)", factory, Config{})
+	defer svc.Close()
+	var res Result
+	if err := svc.DecodeInto(context.Background(), &res, gf2.NewVec(model.NumDet+1)); err == nil {
+		t.Fatal("wrong-length syndrome accepted")
+	}
+}
+
+func TestServiceCloseDrains(t *testing.T) {
+	model, factory := testModel(t)
+	svc := newService("test", model, "BP(30)", factory, Config{
+		MaxBatch: 64, MaxWait: 50 * time.Millisecond, // long wait: Close must flush the partial batch
+	})
+	syndromes := sampleSyndromes(model, 8, 3)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(syndromes))
+	for i := range syndromes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res Result
+			errs[i] = svc.DecodeInto(context.Background(), &res, syndromes[i])
+		}(i)
+	}
+	// Give the submitters time to enqueue, then drain.
+	time.Sleep(5 * time.Millisecond)
+	svc.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d lost during drain: %v", i, err)
+		}
+	}
+	var res Result
+	if err := svc.DecodeInto(context.Background(), &res, syndromes[0]); err != ErrClosed {
+		t.Fatalf("decode after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDecodeContextTimeout(t *testing.T) {
+	model, _ := testModel(t)
+	gate := make(chan struct{})
+	factory := func() core.Decoder { return &gatedDecoder{model: model, gate: gate} }
+	svc := newService("test", model, "gated", factory, Config{MaxBatch: 1, PoolSize: 1, Workers: 1})
+	defer func() {
+		close(gate)
+		svc.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var res Result
+	err := svc.DecodeInto(ctx, &res, gf2.NewVec(model.NumDet))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// gatedDecoder blocks inside Decode until its gate closes — a stand-in
+// for a slow decoder in timeout/overload/drain tests.
+type gatedDecoder struct {
+	model *dem.Model
+	gate  chan struct{}
+	out   gf2.Vec
+}
+
+func (g *gatedDecoder) Name() string { return "gated" }
+
+func (g *gatedDecoder) Decode(s gf2.Vec) (gf2.Vec, core.Stats) {
+	<-g.gate
+	if g.out.Len() == 0 {
+		g.out = gf2.NewVec(g.model.NumMech())
+	}
+	return g.out, core.Stats{}
+}

@@ -108,6 +108,11 @@ func RunMemory(model *dem.Model, factory core.Factory, cfg MemoryConfig) LERResu
 					mechCSC.MulVecInto(syn, mech)
 					obsCSC.MulVecInto(obs, mech)
 					actual.Xor(obs)
+					// Ownership audit (see internal/README.md): est is
+					// decoder-owned and consumed by the MulVecInto below
+					// before the next Decode on this worker's instance;
+					// it never escapes the goroutine, so no gf2.CopyVec
+					// is needed here.
 					est, stats := dec.Decode(syn)
 					obsCSC.MulVecInto(obs, est)
 					predicted.Xor(obs)

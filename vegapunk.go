@@ -30,6 +30,7 @@ import (
 	"vegapunk/internal/dem"
 	"vegapunk/internal/gf2"
 	"vegapunk/internal/hier"
+	"vegapunk/internal/serve"
 	"vegapunk/internal/sim"
 	"vegapunk/internal/window"
 )
@@ -197,3 +198,41 @@ func NewWindow(per *Model, cfg WindowConfig, factory func(*Model) Decoder) (*Win
 // NewVec returns an all-zero GF(2) vector of length n (syndrome or
 // error construction).
 func NewVec(n int) Vec { return gf2.NewVec(n) }
+
+// ---- Online decoding service ----
+
+// ServeConfig shapes the decoding service (micro-batching, decoder
+// pooling, admission control); the zero value uses sensible defaults.
+type ServeConfig = serve.Config
+
+// DecodeServer is the HTTP decoding service: register models, then
+// ListenAndServe. See cmd/vegapunkd for the ready-made daemon.
+type DecodeServer = serve.Server
+
+// DecodeService is one registered model's decode queue, usable directly
+// from Go without the HTTP layer.
+type DecodeService = serve.Service
+
+// DecodeResult is a caller-owned decode result; reuse one across calls
+// for allocation-free steady-state serving.
+type DecodeResult = serve.Result
+
+// DecoderPool multiplexes single-goroutine decoder instances across
+// concurrent callers with acquire/release semantics.
+type DecoderPool = serve.Pool
+
+// NewDecodeServer builds an empty decoding service; register models via
+// (*DecodeServer).Register before serving.
+func NewDecodeServer(cfg ServeConfig) *DecodeServer { return serve.NewServer(cfg) }
+
+// NewDecoderPool builds a bounded lazy pool over a decoder factory
+// (size ≤ 0 uses GOMAXPROCS).
+func NewDecoderPool(factory func() Decoder, size int) *DecoderPool {
+	return serve.NewPool(core.Factory(factory), size)
+}
+
+// ServeModelKey derives the canonical model registry key used by
+// cmd/vegapunkd and cmd/decodeload.
+func ServeModelKey(codeName, decoderName string, p float64) string {
+	return serve.ModelKey(codeName, decoderName, p)
+}

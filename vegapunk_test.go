@@ -2,6 +2,7 @@ package vegapunk
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand/v2"
 	"testing"
@@ -144,5 +145,58 @@ func TestPublicAccelerator(t *testing.T) {
 	u := params.VegapunkUtilization(art)
 	if u.LUTPct <= 0 || u.LUTPct > 100 {
 		t.Errorf("utilization %v", u.LUTPct)
+	}
+}
+
+func TestPublicDecodeServer(t *testing.T) {
+	c, err := BBCode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := CodeCapacityNoise(c, 0.01)
+	srv := NewDecodeServer(ServeConfig{MaxBatch: 4})
+	key := ServeModelKey("BB [[72,12,6]]", "BP", 0.01)
+	svc, err := srv.Register(key, model, "BP(30)", func() Decoder { return NewBP(model, 30) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	rng := rand.New(rand.NewPCG(5, 6))
+	ref := NewBP(model, 30)
+	var res DecodeResult
+	for i := 0; i < 10; i++ {
+		e := model.Sample(rng)
+		s := model.Syndrome(e)
+		if err := svc.DecodeInto(context.Background(), &res, s); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ref.Decode(s)
+		if !res.Correction.Equal(want) {
+			t.Fatalf("decode %d: served correction differs from direct decode", i)
+		}
+	}
+}
+
+func TestPublicDecoderPool(t *testing.T) {
+	c, err := BBCode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := CodeCapacityNoise(c, 0.01)
+	pool := NewDecoderPool(func() Decoder { return NewBP(model, 30) }, 2)
+	d, err := pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := d.Decode(NewVec(model.NumDet))
+	// Pool-boundary rule: copy the decoder-owned result out before Release.
+	kept := est.Clone()
+	pool.Release(d)
+	if !kept.IsZero() {
+		t.Fatal("zero syndrome decoded to nonzero correction")
+	}
+	if pool.Created() != 1 {
+		t.Fatalf("pool created %d decoders, want 1", pool.Created())
 	}
 }
