@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture module under testdata/fixmod seeds one violation per
+// construct each rule knows. Expectations live in the sources as
+// "want(<rule>)" markers; a diagnostic must land on exactly the file
+// and line of its marker, and no unmarked line may produce one.
+
+var wantMarker = regexp.MustCompile(`want\(([a-z-]+)\)`)
+
+func TestFixtureDiagnostics(t *testing.T) {
+	dir := filepath.Join("testdata", "fixmod")
+	res, err := Run(dir)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", dir, err)
+	}
+
+	want := scanWants(t, dir)
+	// Directive-line diagnostics cannot carry a want marker (the marker
+	// text would change the directive's meaning), so the annotation-rule
+	// fixtures in ann/ann.go are asserted by explicit position.
+	for _, line := range []int{8, 10, 11, 12, 13} {
+		want[fmt.Sprintf("ann/ann.go:%d:%s", line, RuleAnnotation)]++
+	}
+
+	got := map[string]int{}
+	for _, d := range res.Diagnostics {
+		rel, err := filepath.Rel(res.Dir, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside module: %s", d)
+		}
+		got[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), d.Pos.Line, d.Rule)]++
+	}
+
+	for key, n := range want {
+		if got[key] != n {
+			t.Errorf("want %d diagnostic(s) %s, got %d", n, key, got[key])
+		}
+	}
+	for key, n := range got {
+		if want[key] == 0 {
+			t.Errorf("unexpected diagnostic(s) %s (x%d)", key, n)
+		}
+	}
+}
+
+// scanWants collects want(<rule>) markers as "relfile:line:rule" counts.
+func scanWants(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	want := map[string]int{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantMarker.FindAllStringSubmatch(sc.Text(), -1) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), line, m[1])]++
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scanning want markers: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers found in fixtures")
+	}
+	return want
+}
+
+// TestFixtureExactPosition pins one diagnostic down to the column and
+// message, so position drift inside a line cannot go unnoticed.
+func TestFixtureExactPosition(t *testing.T) {
+	dir := filepath.Join("testdata", "fixmod")
+	res, err := Run(dir)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", dir, err)
+	}
+	target := filepath.Join(res.Dir, "decode", "decode.go")
+	var hits []string
+	for _, d := range res.Diagnostics {
+		if d.Pos.Filename == target && d.Rule == RuleScratchOwn && d.Pos.Line == 23 {
+			hits = append(hits, fmt.Sprintf("%d:%d %s", d.Pos.Line, d.Pos.Column, d.Msg))
+		}
+	}
+	want := []string{"23:2 raw decode result stored into struct field last; copy it out first (gf2.CopyVec or Clone)"}
+	if !reflect.DeepEqual(hits, want) {
+		t.Errorf("decode.go:23 diagnostics = %q, want %q", hits, want)
+	}
+}
+
+// TestRealModule runs the analyzer over this repository itself: the
+// tree must stay diagnostic-free, and the hot-path annotation coverage
+// must not silently erode below the level this PR established.
+func TestRealModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	res, err := Run(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Run(repo root): %v", err)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("repo not vegacheck-clean: %s", d)
+	}
+	if len(res.HotpathFuncs) < 15 {
+		t.Errorf("only %d annotated hot-path roots, want >= 15: %v",
+			len(res.HotpathFuncs), res.HotpathFuncs)
+	}
+	if res.HotpathReached < len(res.HotpathFuncs) {
+		t.Errorf("closure size %d smaller than root count %d",
+			res.HotpathReached, len(res.HotpathFuncs))
+	}
+}
+
+// TestFixtureHotpathClosure asserts which functions the annotation and
+// call-graph machinery considers hot: the seven annotated roots plus
+// the four statically reached callees (eat, eatAll, tick, helper) —
+// and not coldInit, whose call edge is pruned by an allow directive.
+func TestFixtureHotpathClosure(t *testing.T) {
+	dir := filepath.Join("testdata", "fixmod")
+	res, err := Run(dir)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", dir, err)
+	}
+	wantRoots := []string{
+		"fixmod/hot.Above",
+		"fixmod/hot.Alloc",
+		"fixmod/hot.Clock",
+		"fixmod/hot.Outer",
+		"fixmod/hot.Pruned",
+		"fixmod/hot.Sized",
+		"fixmod/hot.Spawn",
+	}
+	gotRoots := append([]string(nil), res.HotpathFuncs...)
+	sort.Strings(gotRoots)
+	if !reflect.DeepEqual(gotRoots, wantRoots) {
+		t.Errorf("hotpath roots = %v, want %v", gotRoots, wantRoots)
+	}
+	if want := len(wantRoots) + 4; res.HotpathReached != want {
+		t.Errorf("hotpath closure size = %d, want %d", res.HotpathReached, want)
+	}
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcKey indexes the module function table by type-checker object.
+type funcKey = *types.Func
+
+// funcInfo is one module function declaration plus its hot-path state.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// annotated is true for //vegapunk:hotpath roots; root is the
+	// annotated function through which an unannotated callee was first
+	// reached (nil for roots).
+	annotated bool
+	root      *funcInfo
+	inClosure bool
+}
+
+// buildCallGraph indexes every module function declaration and computes
+// the hot-path closure: the annotated roots plus every module function
+// statically reachable from them. Dynamic calls (interface methods,
+// func values) cannot be resolved without whole-program analysis and
+// stop the traversal; the pool/serve boundary covers the interface case
+// via the scratch-own rule instead.
+func (c *checker) buildCallGraph() {
+	c.funcs = map[funcKey]*funcInfo{}
+	for _, pkg := range c.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				c.funcs[obj] = &funcInfo{
+					obj:       obj,
+					decl:      fd,
+					pkg:       pkg,
+					annotated: c.isHotpathAnnotated(fd),
+				}
+			}
+		}
+	}
+
+	// BFS from the roots. An allow(alloc) on the call line prunes the
+	// edge: the callee is accepted as allocating (or cold) and not
+	// dragged into the closure.
+	var queue []*funcInfo
+	for _, fn := range c.funcs {
+		if fn.annotated {
+			fn.inClosure = true
+			queue = append(queue, fn)
+		}
+	}
+	sortFuncs(queue)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		c.closureOrder = append(c.closureOrder, fn)
+		var next []*funcInfo
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := c.staticCallee(fn.pkg, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := c.funcs[callee]
+			if !ok || target.inClosure {
+				return true
+			}
+			if c.allowed(call.Pos(), RuleHotpathAlloc) {
+				return true
+			}
+			target.inClosure = true
+			if fn.annotated {
+				target.root = fn
+			} else {
+				target.root = fn.root
+			}
+			next = append(next, target)
+			return true
+		})
+		sortFuncs(next)
+		queue = append(queue, next...)
+	}
+}
+
+// sortFuncs orders functions by declaration position for deterministic
+// traversal and output.
+func sortFuncs(fns []*funcInfo) {
+	for i := 1; i < len(fns); i++ {
+		for j := i; j > 0 && fns[j].decl.Pos() < fns[j-1].decl.Pos(); j-- {
+			fns[j], fns[j-1] = fns[j-1], fns[j]
+		}
+	}
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes, or nil for builtins, conversions, func values and
+// dynamic (interface) dispatch.
+func (c *checker) staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				if types.IsInterface(recv.Type()) {
+					return nil // dynamic dispatch
+				}
+			}
+			return fn
+		}
+		// Package-qualified call (pkg.Fn).
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleePkgPath returns the defining package path of a call's static
+// callee ("" when unresolved or universe-scoped).
+func (c *checker) calleePkgPath(pkg *Package, call *ast.CallExpr) (path, name string) {
+	fn := c.staticCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

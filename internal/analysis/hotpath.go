@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkHotpaths applies the hotpath-alloc and hotpath-time rules to
+// every function in the hot-path closure.
+func (c *checker) checkHotpaths() {
+	for _, fn := range c.closureOrder {
+		c.checkHotFunc(fn)
+	}
+}
+
+// via labels diagnostics in unannotated closure members with the
+// annotated root that pulled them in.
+func (fn *funcInfo) via() string {
+	if fn.annotated || fn.root == nil {
+		return ""
+	}
+	return fmt.Sprintf(" (hot path via %s)", fn.root.obj.FullName())
+}
+
+func (c *checker) checkHotFunc(fn *funcInfo) {
+	pkg := fn.pkg
+	info := pkg.Info
+	via := fn.via()
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.report(n.Pos(), RuleHotpathAlloc, "go statement spawns a goroutine in hot path%s", via)
+		case *ast.CallExpr:
+			c.checkHotCall(fn, n)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				c.report(n.Pos(), RuleHotpathAlloc, "slice literal allocates in hot path%s", via)
+			case *types.Map:
+				c.report(n.Pos(), RuleHotpathAlloc, "map literal allocates in hot path%s", via)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.report(n.Pos(), RuleHotpathAlloc, "&composite literal allocates in hot path%s", via)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.isStringExpr(pkg, n) && info.Types[n].Value == nil {
+				c.report(n.Pos(), RuleHotpathAlloc, "string concatenation allocates in hot path%s", via)
+			}
+		case *ast.AssignStmt:
+			c.checkHotAssign(fn, n)
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && c.isMapIndex(pkg, idx) {
+				c.report(n.Pos(), RuleHotpathAlloc, "map write in hot path%s", via)
+			}
+		case *ast.FuncLit:
+			if capt := c.capturedVar(pkg, n); capt != nil {
+				c.report(n.Pos(), RuleHotpathAlloc,
+					"closure captures %q and allocates in hot path%s", capt.Name(), via)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotAssign flags string += and map writes.
+func (c *checker) checkHotAssign(fn *funcInfo, n *ast.AssignStmt) {
+	pkg := fn.pkg
+	if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && c.isStringExpr(pkg, n.Lhs[0]) {
+		c.report(n.Pos(), RuleHotpathAlloc, "string += allocates in hot path%s", fn.via())
+		return
+	}
+	for _, lhs := range n.Lhs {
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && c.isMapIndex(pkg, idx) {
+			c.report(lhs.Pos(), RuleHotpathAlloc, "map write in hot path%s", fn.via())
+		}
+	}
+}
+
+// checkHotCall flags allocating builtins, fmt/log calls, allocating
+// conversions, wall-clock reads and interface boxing at the call site.
+func (c *checker) checkHotCall(fn *funcInfo, call *ast.CallExpr) {
+	pkg := fn.pkg
+	info := pkg.Info
+	via := fn.via()
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				c.report(call.Pos(), RuleHotpathAlloc, "%s allocates in hot path%s", b.Name(), via)
+			}
+			return
+		}
+	}
+	// Conversion T(x): flag the allocating string<->[]byte/[]rune pairs.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && c.allocatingConversion(pkg, tv.Type, call.Args[0]) {
+			c.report(call.Pos(), RuleHotpathAlloc, "string/byte-slice conversion allocates in hot path%s", via)
+		}
+		return
+	}
+
+	if path, name := c.calleePkgPath(pkg, call); path != "" {
+		switch path {
+		case "fmt", "log":
+			c.report(call.Pos(), RuleHotpathAlloc, "%s.%s allocates in hot path%s", path, name, via)
+			return // the fmt diagnostic subsumes the ...any boxing one
+		case "time":
+			if name == "Now" || name == "Since" {
+				c.report(call.Pos(), RuleHotpathTime, "time.%s in hot path%s", name, via)
+			}
+		}
+	}
+
+	c.checkBoxing(fn, call)
+}
+
+// checkBoxing flags concrete, non-pointer-shaped, non-constant
+// arguments passed to interface-typed parameters: the conversion heap-
+// allocates when the value escapes, which at a call boundary must be
+// assumed.
+func (c *checker) checkBoxing(fn *funcInfo, call *ast.CallExpr) {
+	pkg := fn.pkg
+	sig, ok := pkg.Info.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		tv := pkg.Info.Types[arg]
+		if tv.Value != nil || tv.Type == nil {
+			continue // constants box without allocating (static data)
+		}
+		at := tv.Type
+		if at == types.Typ[types.UntypedNil] || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if _, isTP := at.(*types.TypeParam); isTP {
+			continue
+		}
+		c.report(arg.Pos(), RuleHotpathAlloc,
+			"%s boxed into interface argument allocates in hot path%s", at.String(), fn.via())
+	}
+}
+
+// pointerShaped reports types whose interface representation reuses the
+// value word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			return b.Kind() == types.UnsafePointer
+		}
+		return true
+	}
+	return false
+}
+
+// allocatingConversion reports string([]byte), []byte(string) and the
+// rune equivalents.
+func (c *checker) allocatingConversion(pkg *Package, to types.Type, arg ast.Expr) bool {
+	from := pkg.Info.Types[arg].Type
+	if from == nil || pkg.Info.Types[arg].Value != nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func (c *checker) isStringExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.Types[e].Type
+	return t != nil && isString(t)
+}
+
+func (c *checker) isMapIndex(pkg *Package, idx *ast.IndexExpr) bool {
+	t := pkg.Info.Types[idx.X].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// capturedVar returns a variable the function literal captures from an
+// enclosing function scope (forcing a heap-allocated closure), or nil.
+func (c *checker) capturedVar(pkg *Package, lit *ast.FuncLit) *types.Var {
+	var captured *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are accessed directly, not captured.
+		if v.Parent() == pkg.Types.Scope() || v.Parent() == nil {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+			return false
+		}
+		return true
+	})
+	return captured
+}

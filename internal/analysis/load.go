@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module: every non-test
+// package found under the module root, in dependency order.
+type Module struct {
+	// Path is the module path from go.mod (e.g. "vegapunk").
+	Path string
+	// Dir is the absolute module root directory.
+	Dir string
+	// Fset positions every parsed file (including source-imported
+	// dependencies).
+	Fset *token.FileSet
+	// Pkgs lists the module's packages in topological (dependency-first)
+	// order.
+	Pkgs []*Package
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	// ImportPath is the full import path ("vegapunk/internal/gf2").
+	ImportPath string
+	// RelDir is the directory relative to the module root ("" for the
+	// root package, "internal/gf2", "cmd/vegacheck", ...).
+	RelDir string
+	// Dir is the absolute package directory.
+	Dir string
+	// Files holds the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Types and Info are the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks every non-test package of the module
+// containing dir, using only the standard library: module packages are
+// resolved from source in dependency order, and out-of-module imports
+// (the standard library — the only external dependency this analyzer
+// supports) are resolved through go/importer's source importer.
+func Load(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from GOROOT
+	// sources; with cgo enabled it would try to run the cgo tool on
+	// packages like net. Pure-Go variants exist for everything we need.
+	build.Default.CgoEnabled = false
+
+	mod := &Module{Path: modPath, Dir: root, Fset: token.NewFileSet()}
+	byPath, err := parseModule(mod)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := sortPackages(mod, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	std := importer.ForCompiler(mod.Fset, "source", nil)
+	imp := &moduleImporter{std: std, pkgs: map[string]*types.Package{}}
+	conf := types.Config{Importer: imp}
+	for _, p := range ordered {
+		p.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		tpkg, err := conf.Check(p.ImportPath, mod.Fset, p.Files, p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %w", p.ImportPath, err)
+		}
+		p.Types = tpkg
+		imp.pkgs[p.ImportPath] = tpkg
+	}
+	mod.Pkgs = ordered
+	return mod, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path, perr := parseModulePath(data)
+			if perr != nil {
+				return "", "", fmt.Errorf("%s: %w", filepath.Join(d, "go.mod"), perr)
+			}
+			return d, path, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(data []byte) (string, error) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "module")
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		p := strings.TrimSpace(rest)
+		if unq, err := strconv.Unquote(p); err == nil {
+			p = unq
+		}
+		if p == "" {
+			break
+		}
+		return p, nil
+	}
+	return "", fmt.Errorf("no module directive")
+}
+
+// parseModule walks the module tree and parses every non-test package.
+func parseModule(mod *Module) (map[string]*Package, error) {
+	byPath := map[string]*Package{}
+	err := filepath.WalkDir(mod.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != mod.Dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		// A nested module is a separate unit; don't absorb its packages.
+		if path != mod.Dir {
+			if _, serr := os.Stat(filepath.Join(path, "go.mod")); serr == nil {
+				return filepath.SkipDir
+			}
+		}
+		pkg, perr := parseDir(mod, path)
+		if perr != nil {
+			return perr
+		}
+		if pkg != nil {
+			byPath[pkg.ImportPath] = pkg
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(byPath) == 0 {
+		return nil, fmt.Errorf("no Go packages under %s", mod.Dir)
+	}
+	return byPath, nil
+}
+
+// parseDir parses one directory's non-test Go files; returns nil if the
+// directory holds no buildable files.
+func parseDir(mod *Module, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: mixed package names %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(mod.Dir, dir)
+	if err != nil {
+		return nil, err
+	}
+	ip := mod.Path
+	if rel != "." {
+		ip = mod.Path + "/" + filepath.ToSlash(rel)
+	} else {
+		rel = ""
+	}
+	return &Package{ImportPath: ip, RelDir: filepath.ToSlash(rel), Dir: dir, Files: files}, nil
+}
+
+// sortPackages orders packages dependency-first along module-internal
+// imports, rejecting cycles.
+func sortPackages(mod *Module, byPath map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = visiting
+		p := byPath[path]
+		for _, dep := range moduleImports(mod, p) {
+			if _, ok := byPath[dep]; !ok {
+				return fmt.Errorf("%s imports %s: not found in module", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImports lists p's module-internal import paths, sorted.
+func moduleImports(mod *Module, p *Package) []string {
+	seen := map[string]bool{}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == mod.Path || strings.HasPrefix(path, mod.Path+"/") {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for path := range seen {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// moduleImporter resolves module-internal packages from the already
+// type-checked set and delegates everything else (the standard library)
+// to the source importer.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The scratch-own rule: a gf2.Vec returned by a Decode method is owned
+// by the decoder and dies at its next Decode call ("owned until next
+// Decode", internal/README.md). A raw decode result therefore must not
+//
+//   - be stored into a struct field,
+//   - be sent on a channel, or
+//   - be returned from the enclosing function,
+//
+// unless it is first copied out via gf2.CopyVec (into an independent
+// destination) or Clone. Functions themselves named Decode are exempt
+// from the return restriction: they hand the contract to their caller,
+// which is exactly how the core.Decoder wrappers compose.
+//
+// The analysis is intra-procedural: each function tracks which local
+// variables alias a raw decode result (assignment-ordered, matching
+// source order), cleansing on reassignment from any clean expression
+// (Clone results included).
+
+// checkScratch applies the scratch-own rule to every module function.
+func (c *checker) checkScratch() {
+	for _, pkg := range c.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.checkScratchFunc(pkg, fd)
+			}
+		}
+	}
+}
+
+func (c *checker) checkScratchFunc(pkg *Package, fd *ast.FuncDecl) {
+	tainted := map[*types.Var]bool{}
+	isDecodeMethod := fd.Name.Name == "Decode"
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.scratchAssign(pkg, n, tainted)
+		case *ast.SendStmt:
+			if c.taintedExpr(pkg, n.Value, tainted) {
+				c.report(n.Value.Pos(), RuleScratchOwn,
+					"raw decode result sent on a channel; copy it out first (gf2.CopyVec or Clone)")
+			}
+		case *ast.ReturnStmt:
+			if isDecodeMethod {
+				return true
+			}
+			for _, res := range n.Results {
+				if c.taintedExpr(pkg, res, tainted) {
+					c.report(res.Pos(), RuleScratchOwn,
+						"raw decode result returned past the owner; copy it out first (gf2.CopyVec or Clone)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scratchAssign propagates taint through an assignment and reports
+// struct-field stores of tainted values.
+func (c *checker) scratchAssign(pkg *Package, n *ast.AssignStmt, tainted map[*types.Var]bool) {
+	// Multi-value form: x, y := decoder.Decode(s) taints x (the Vec
+	// result is always first, by the source-call definition).
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		src := ok && c.isDecodeSource(pkg, call)
+		c.scratchStore(pkg, n.Lhs[0], src, tainted)
+		for _, lhs := range n.Lhs[1:] {
+			c.scratchStore(pkg, lhs, false, tainted)
+		}
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		c.scratchStore(pkg, lhs, c.taintedExpr(pkg, n.Rhs[i], tainted), tainted)
+	}
+}
+
+// scratchStore records one assignment target: tainting/cleansing locals
+// and flagging tainted stores into struct fields.
+func (c *checker) scratchStore(pkg *Package, lhs ast.Expr, tainted bool, set map[*types.Var]bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := objOf(pkg, lhs).(*types.Var); ok {
+			if tainted {
+				set[v] = true
+			} else {
+				delete(set, v)
+			}
+		}
+	case *ast.SelectorExpr:
+		if !tainted {
+			return
+		}
+		if sel, ok := pkg.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			c.report(lhs.Pos(), RuleScratchOwn,
+				"raw decode result stored into struct field %s; copy it out first (gf2.CopyVec or Clone)", lhs.Sel.Name)
+		}
+	}
+}
+
+// taintedExpr reports whether e evaluates to a raw (uncopied) decode
+// result under the current taint set.
+func (c *checker) taintedExpr(pkg *Package, e ast.Expr, tainted map[*types.Var]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := objOf(pkg, e).(*types.Var)
+		return ok && tainted[v]
+	case *ast.CallExpr:
+		return c.isDecodeSource(pkg, e)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if c.taintedExpr(pkg, elt, tainted) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDecodeSource reports whether the call invokes a Decode method (or
+// function) whose first result is a gf2.Vec — the ownership-carrying
+// decoder entry points, core.Decoder.Decode included.
+func (c *checker) isDecodeSource(pkg *Package, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if name != "Decode" {
+		return false
+	}
+	sig, ok := pkg.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isGF2Vec(sig.Results().At(0).Type())
+}
+
+// isGF2Vec matches the named type Vec from a package whose import path
+// ends in "gf2" (the real module and analyzer fixtures alike).
+func isGF2Vec(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Vec" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "gf2" || strings.HasSuffix(path, "/gf2")
+}
+
+// objOf resolves an identifier to its object, definition or use.
+func objOf(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Uses[id]
+}

@@ -1,0 +1,15 @@
+// Package ann seeds malformed vegapunk directives. The annotation rule
+// reports on the directive lines themselves, where no want marker can
+// ride along without changing the directive's meaning, so the test
+// asserts these positions explicitly: lines 8, 10, 11, 12 and 13.
+package ann
+
+func misuse() int {
+	//vegapunk:hotpath
+	x := 1
+	//vegapunk:allow(time)
+	//vegapunk:allow(bogus) not a rule id
+	//vegapunk:allow(alloc missing close paren
+	//vegapunk:frobnicate
+	return x
+}

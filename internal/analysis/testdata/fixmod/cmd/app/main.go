@@ -1,0 +1,24 @@
+// Command app seeds err-unchecked violations: cmd/ binaries must not
+// drop error returns on expression, defer or go statements.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func cleanup() error { return nil }
+
+func main() {
+	mayFail()       // want(err-unchecked)
+	defer cleanup() // want(err-unchecked)
+	go mayFail()    // want(err-unchecked)
+	fmt.Println("fmt is exempt")
+	if err := mayFail(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	_ = mayFail() // clean: explicitly discarded
+}

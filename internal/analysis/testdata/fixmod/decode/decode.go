@@ -1,0 +1,76 @@
+// Package decode seeds scratch-own violations against the stub gf2
+// decoder contract: a Vec returned by Decode is owned by the decoder
+// and must be copied out (gf2.CopyVec or Clone) before it is stored
+// into a field, sent on a channel, or returned.
+package decode
+
+import "fixmod/internal/gf2"
+
+// Decoder mirrors the real core.Decoder surface: Decode returns a
+// decoder-owned vector, valid only until the next Decode call.
+type Decoder struct{ out gf2.Vec }
+
+// Decode returns the decoder-owned estimate.
+func (d *Decoder) Decode(s gf2.Vec) gf2.Vec { return d.out }
+
+type holder struct {
+	last gf2.Vec
+	ch   chan gf2.Vec
+}
+
+func storeField(h *holder, d *Decoder, s gf2.Vec) {
+	est := d.Decode(s)
+	h.last = est // want(scratch-own)
+}
+
+func storeDirect(h *holder, d *Decoder, s gf2.Vec) {
+	h.last = d.Decode(s) // want(scratch-own)
+}
+
+func send(h *holder, d *Decoder, s gf2.Vec) {
+	h.ch <- d.Decode(s) // want(scratch-own)
+}
+
+func leakReturn(d *Decoder, s gf2.Vec) gf2.Vec {
+	est := d.Decode(s)
+	return est // want(scratch-own)
+}
+
+func cloneReturn(d *Decoder, s gf2.Vec) gf2.Vec {
+	est := d.Decode(s)
+	return est.Clone() // clean: Clone copies out
+}
+
+func copyOut(h *holder, d *Decoder, s gf2.Vec) {
+	est := d.Decode(s)
+	gf2.CopyVec(&h.last, est) // clean: the canonical pool-boundary copy
+}
+
+func cleansed(d *Decoder, s gf2.Vec) gf2.Vec {
+	est := d.Decode(s)
+	est = est.Clone()
+	return est // clean: est was reassigned from a copy
+}
+
+// wrapper's own Decode hands the ownership contract to its caller, so
+// returning the raw result is the contract, not a leak.
+type wrapper struct{ d *Decoder }
+
+// Decode forwards to the wrapped decoder.
+func (w *wrapper) Decode(s gf2.Vec) gf2.Vec { return w.d.Decode(s) }
+
+// multi has a second result; only the leading Vec taints.
+type multi struct{ out gf2.Vec }
+
+// Decode returns the estimate plus an iteration count.
+func (m *multi) Decode(s gf2.Vec) (gf2.Vec, int) { return m.out, 0 }
+
+func multiStore(h *holder, m *multi, s gf2.Vec) int {
+	est, iters := m.Decode(s)
+	h.last = est // want(scratch-own)
+	return iters
+}
+
+func audited(h *holder, d *Decoder, s gf2.Vec) {
+	h.last = d.Decode(s) //vegapunk:allow(scratch) fixture: audited single-owner handoff
+}

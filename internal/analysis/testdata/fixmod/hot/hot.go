@@ -1,0 +1,102 @@
+// Package hot seeds hotpath-alloc and hotpath-time violations for the
+// analyzer fixture tests. Every line carrying a "want(<rule>)" marker
+// must produce exactly that diagnostic; unmarked lines must stay clean.
+package hot
+
+import (
+	"fmt"
+	"time"
+)
+
+type sink struct {
+	buf []int
+	m   map[string]int
+	s   string
+}
+
+func eat(v any)        { _ = v }
+func eatAll(vs ...any) { _ = vs }
+
+// Alloc trips every allocation pattern the hotpath-alloc rule knows.
+//
+//vegapunk:hotpath
+func Alloc(s *sink, n int, name string) {
+	b := make([]int, n)         // want(hotpath-alloc)
+	s.buf = append(s.buf, b...) // want(hotpath-alloc)
+	p := new(int)               // want(hotpath-alloc)
+	_ = p
+	_ = []int{1, 2}  // want(hotpath-alloc)
+	_ = &sink{}      // want(hotpath-alloc)
+	s.m["k"] = n     // want(hotpath-alloc)
+	s.m["k"]++       // want(hotpath-alloc)
+	s.s = name + "!" // want(hotpath-alloc)
+	s.s += name      // want(hotpath-alloc)
+	_ = []byte(name) // want(hotpath-alloc)
+	fmt.Println(n)   // want(hotpath-alloc)
+	eat(n)           // want(hotpath-alloc)
+	eat(s)           // pointer-shaped: no boxing allocation
+	eat("constant")  // constants box without allocating
+	eatAll(3, 4)     // all-constant variadic: clean
+}
+
+// Spawn trips the goroutine and capturing-closure patterns.
+//
+//vegapunk:hotpath
+func Spawn(n int) int {
+	go tick()           // want(hotpath-alloc)
+	f := func() { n++ } // want(hotpath-alloc)
+	f()
+	g := func() int { return 7 } // non-capturing: clean
+	return n + g()
+}
+
+func tick() {}
+
+// Clock trips the wall-clock rule.
+//
+//vegapunk:hotpath
+func Clock() time.Duration {
+	t0 := time.Now()      // want(hotpath-time)
+	return time.Since(t0) // want(hotpath-time)
+}
+
+// Outer is hot; the violation lives in its unannotated callee, pulled
+// into the closure transitively.
+//
+//vegapunk:hotpath
+func Outer(s *sink) {
+	helper(s)
+}
+
+func helper(s *sink) {
+	s.buf = make([]int, 4) // want(hotpath-alloc)
+}
+
+// Sized uses the trailing-allow escape on the violating line.
+//
+//vegapunk:hotpath
+func Sized(n int) []int {
+	buf := make([]int, n) //vegapunk:allow(alloc) fixture: construction-time sizing
+	return buf
+}
+
+// Above uses a standalone allow on the line above the violation.
+//
+//vegapunk:hotpath
+func Above(n int) []int {
+	//vegapunk:allow(alloc) fixture: standalone allow covers the next line
+	return make([]int, n)
+}
+
+// Pruned never descends into coldInit: the allow on the call line
+// prunes the call-graph edge, so coldInit's allocations stay unflagged.
+//
+//vegapunk:hotpath
+func Pruned() {
+	coldInit() //vegapunk:allow(alloc) fixture: cold-start edge prune
+}
+
+func coldInit() {
+	_ = make([]int, 8)
+	_ = []string{"cold"}
+}

@@ -1,0 +1,33 @@
+// Package gf2 is a minimal stand-in for the real vegapunk/internal/gf2:
+// just enough surface (Vec, Clone, CopyVec) for the scratch-own rule's
+// type matching, which keys on a named Vec in a package path ending in
+// "gf2".
+package gf2
+
+// Vec is a stub bit vector.
+type Vec struct {
+	n int
+	w []uint64
+}
+
+// NewVec returns an all-zero vector of length n.
+func NewVec(n int) Vec { return Vec{n: n, w: make([]uint64, (n+63)/64)} }
+
+// Len returns the number of bits.
+func (v Vec) Len() int { return v.n }
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	c := Vec{n: v.n, w: make([]uint64, len(v.w))}
+	copy(c.w, v.w)
+	return c
+}
+
+// CopyVec copies src into *dst, reusing dst's storage when possible.
+func CopyVec(dst *Vec, src Vec) {
+	if dst.n != src.n || len(dst.w) != len(src.w) {
+		*dst = src.Clone()
+		return
+	}
+	copy(dst.w, src.w)
+}

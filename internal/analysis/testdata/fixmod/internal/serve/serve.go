@@ -1,0 +1,51 @@
+// Package serve seeds lock-copy violations: by-value copies of serve
+// types carrying sync or sync/atomic state.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Service guards its state with a mutex.
+type Service struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Counter is an atomics-backed metric, like the real serve metrics.
+type Counter struct{ v atomic.Uint64 }
+
+// Plain has no lock state; copying it is fine.
+type Plain struct{ n int }
+
+func byValue(s Service) int { // want(lock-copy)
+	return s.n
+}
+
+// N has a value receiver, forking the mutex on every call.
+func (s Service) N() int { // want(lock-copy)
+	return s.n
+}
+
+func deref(p *Service) int {
+	s := *p // want(lock-copy)
+	return s.n
+}
+
+func copyCounter(c *Counter) uint64 {
+	out := *c // want(lock-copy)
+	return out.v.Load()
+}
+
+func pointerOK(p *Service) *Service { return p }
+
+func construct() *Service {
+	s := Service{} // clean: construction, not a copy
+	return &s
+}
+
+func plainCopy(p *Plain) Plain {
+	out := *p // clean: no lock state
+	return out
+}
