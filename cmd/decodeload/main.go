@@ -69,7 +69,9 @@ func run() int {
 	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
 	seed := fs.Uint64("seed", 1, "reproducible workload seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
 
 	logger := log.New(os.Stderr, "decodeload ", log.LstdFlags)
 
@@ -139,8 +141,8 @@ func run() int {
 					bad = true
 				} else {
 					raw, rerr := io.ReadAll(resp.Body)
-					resp.Body.Close()
-					if rerr != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &out) != nil {
+					cerr := resp.Body.Close()
+					if rerr != nil || cerr != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &out) != nil {
 						bad = true
 					}
 				}

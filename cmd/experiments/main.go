@@ -69,7 +69,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			return 1
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", cerr)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
 			return 1
@@ -112,7 +116,9 @@ func run() int {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
 	}
 	return exitCode
 }

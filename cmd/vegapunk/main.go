@@ -76,7 +76,9 @@ func cmdDecouple(args []string) int {
 	fs := flag.NewFlagSet("decouple", flag.ExitOnError)
 	name := fs.String("code", "", "benchmark code name (see 'vegapunk codes')")
 	out := fs.String("out", "", "write the offline artifact to this file (JSON)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	b, ok := findBenchmark(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown code %q\n", *name)
@@ -97,7 +99,11 @@ func cmdDecouple(args []string) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer f.Close()
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, cerr)
+			}
+		}()
 		if _, err := dcp.WriteTo(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -110,7 +116,9 @@ func cmdDecouple(args []string) int {
 func cmdDump(args []string) int {
 	fs := flag.NewFlagSet("dump", flag.ExitOnError)
 	name := fs.String("code", "", "benchmark code name")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	b, ok := findBenchmark(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown code %q\n", *name)
@@ -131,7 +139,9 @@ func cmdDecode(args []string) int {
 	p := fs.Float64("p", 0.002, "physical error rate")
 	shots := fs.Int("shots", 5, "number of sampled syndromes")
 	seed := fs.Uint64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	b, ok := findBenchmark(*name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown code %q\n", *name)

@@ -50,7 +50,9 @@ func run() int {
 	wait := fs.Duration("wait", 200*time.Microsecond, "micro-batch flush deadline under saturation")
 	inflight := fs.Int("inflight", 64, "max concurrently admitted HTTP decode requests")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-request decode deadline")
-	fs.Parse(os.Args[1:])
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
 
 	logger := log.New(os.Stderr, "vegapunkd ", log.LstdFlags|log.Lmicroseconds)
 
