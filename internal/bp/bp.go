@@ -121,6 +121,8 @@ type Result struct {
 
 // Decode runs BP against the syndrome. The returned slices/vectors are
 // owned by the decoder and valid until the next Decode call.
+//
+//vegapunk:hotpath
 func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 	g := d.g
 	// Initialize variable-to-check messages with priors.

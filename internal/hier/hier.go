@@ -215,6 +215,8 @@ func (d *Decoder) wA() []float64 { // A columns
 // satisfies D·e = s exactly (GreedyGuess solutions are constraint-exact
 // by construction). The returned vector is owned by the decoder and
 // valid until the next Decode call.
+//
+//vegapunk:hotpath
 func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 	dec := d.dec
 	tr := Trace{}
@@ -243,6 +245,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
+				//vegapunk:allow(alloc) parallel sweep spawn: one closure per worker per round, amortized over NA candidates
 				go func(w int) {
 					defer wg.Done()
 					sc := d.pool.Get().(*scratch)
@@ -295,7 +298,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 			for g := 0; g < dec.K; g++ {
 				dec.BlockSyndromeInto(d.scratch.sl, d.scratch.full, g)
 				d.greedyGuess(g, d.scratch.sl, &d.staged[g])
-				d.stagedIDs = append(d.stagedIDs, g)
+				d.stagedIDs = append(d.stagedIDs, g) //vegapunk:allow(alloc) append into capacity K reserved in New
 			}
 		} else {
 			for bi, r := range sup {
@@ -305,7 +308,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 				}
 				d.candidateBlockSyndrome(d.scratch.sl, sup, g)
 				d.greedyGuess(g, d.scratch.sl, &d.staged[g])
-				d.stagedIDs = append(d.stagedIDs, g)
+				d.stagedIDs = append(d.stagedIDs, g) //vegapunk:allow(alloc) append into capacity K reserved in New
 			}
 		}
 		// Commit (line 12).
@@ -348,6 +351,8 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 // materializing its block solutions; the winner's solutions are
 // recomputed once after selection. Candidate r = rBest with bit i set
 // (line 5).
+//
+//vegapunk:hotpath
 func (d *Decoder) evalCandidate(i int, sc *scratch) (float64, bool) {
 	dec := d.dec
 	if d.rBest.Get(i) {
@@ -420,6 +425,8 @@ func (d *Decoder) totalWeight() float64 {
 // greedily flip the g bit that most reduces the weighted objective,
 // stopping when no flip helps or InnerIters is reached. The solution is
 // written into out (whose vectors must be preallocated to MD and ND-MD).
+//
+//vegapunk:hotpath
 func (d *Decoder) greedyGuess(g int, sl gf2.Vec, out *blockSol) {
 	b := d.blocks[g]
 	wf := d.wIdent(g)

@@ -51,6 +51,8 @@ func NewPool(factory core.Factory, size int) *Pool {
 // an idle instance (pool hit), lazily constructs one while under the
 // size bound (pool miss), and otherwise blocks until an instance is
 // released or ctx is done.
+//
+//vegapunk:hotpath
 func (p *Pool) Acquire(ctx context.Context) (core.Decoder, error) {
 	select {
 	case d := <-p.idle:
@@ -73,6 +75,8 @@ func (p *Pool) Acquire(ctx context.Context) (core.Decoder, error) {
 
 // Release returns an acquired decoder to the pool. The caller must not
 // touch the instance — or any vector it returned — afterwards.
+//
+//vegapunk:hotpath
 func (p *Pool) Release(d core.Decoder) {
 	select {
 	case p.idle <- d:

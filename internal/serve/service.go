@@ -133,6 +133,8 @@ func (s *Service) Pool() *Pool { return s.pool }
 // DecodeInto decodes one syndrome, blocking until the result is ready
 // or ctx is done. res is overwritten; reusing the same Result keeps the
 // call allocation-free in steady state.
+//
+//vegapunk:hotpath
 func (s *Service) DecodeInto(ctx context.Context, res *Result, syndrome gf2.Vec) error {
 	req, err := s.submit(ctx, syndrome)
 	if err != nil {
@@ -170,12 +172,14 @@ func (s *Service) DecodeBatchInto(ctx context.Context, res []Result, syndromes [
 
 // submit validates the syndrome, copies it into a pooled request and
 // enqueues it on the micro-batching queue.
+//
+//vegapunk:hotpath
 func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error) {
 	if syndrome.Len() != s.model.NumDet {
-		return nil, fmt.Errorf("serve: syndrome has %d bits, model %s wants %d",
+		return nil, fmt.Errorf("serve: syndrome has %d bits, model %s wants %d", //vegapunk:allow(alloc) caller-bug error path
 			syndrome.Len(), s.key, s.model.NumDet)
 	}
-	req := s.getReq()
+	req := s.getReq() //vegapunk:allow(alloc) freelist miss constructs by design; steady state reuses
 	req.syndrome.CopyFrom(syndrome)
 	req.state.Store(reqPending)
 
@@ -201,6 +205,8 @@ func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error
 // wait blocks for the request's completion and copies the result out.
 // If ctx wins the race the request is marked abandoned and the worker
 // recycles it; if the worker already completed, the result is used.
+//
+//vegapunk:hotpath
 func (s *Service) wait(ctx context.Context, req *request, res *Result) error {
 	select {
 	case <-req.done:
@@ -218,6 +224,10 @@ func (s *Service) wait(ctx context.Context, req *request, res *Result) error {
 	}
 }
 
+// collect copies the finished request's result into the caller's Result
+// at the pool boundary and recycles the request.
+//
+//vegapunk:hotpath
 func (s *Service) collect(req *request, res *Result) {
 	gf2.CopyVec(&res.Correction, req.correction)
 	gf2.CopyVec(&res.Observables, req.observables)
@@ -245,9 +255,11 @@ func (s *Service) Close() {
 // request to grow the batch only pays off while every worker is busy,
 // so under light load requests dispatch immediately and under
 // saturation the backlog coalesces into full batches.
+//
+//vegapunk:hotpath
 func (s *Service) batcher() {
 	defer s.wg.Done()
-	timer := time.NewTimer(time.Hour)
+	timer := time.NewTimer(time.Hour) //vegapunk:allow(alloc) one timer per service lifetime, before the loop
 	if !timer.Stop() {
 		<-timer.C
 	}
@@ -257,8 +269,8 @@ func (s *Service) batcher() {
 			close(s.work)
 			return
 		}
-		b := s.getBatch()
-		b.reqs = append(b.reqs, req)
+		b := s.getBatch()            //vegapunk:allow(alloc) freelist miss constructs by design; steady state reuses
+		b.reqs = append(b.reqs, req) //vegapunk:allow(alloc) append into MaxBatch capacity reserved at construction
 		timer.Reset(s.cfg.MaxWait)
 		timerLive := true
 	fill:
@@ -268,7 +280,7 @@ func (s *Service) batcher() {
 				if !ok {
 					break fill // flush the tail; the outer receive exits
 				}
-				b.reqs = append(b.reqs, req)
+				b.reqs = append(b.reqs, req) //vegapunk:allow(alloc) append into MaxBatch capacity reserved at construction
 			default:
 				if s.load.Load() < int64(s.cfg.Workers) {
 					break fill // idle worker: batching gains nothing
@@ -278,7 +290,7 @@ func (s *Service) batcher() {
 					if !ok {
 						break fill
 					}
-					b.reqs = append(b.reqs, req)
+					b.reqs = append(b.reqs, req) //vegapunk:allow(alloc) append into MaxBatch capacity reserved at construction
 				case <-timer.C:
 					timerLive = false
 					break fill
@@ -296,6 +308,8 @@ func (s *Service) batcher() {
 }
 
 // flush hands the batch to up to Workers workers.
+//
+//vegapunk:hotpath
 func (s *Service) flush(b *batch) {
 	k := len(b.reqs)
 	if k > s.cfg.Workers {
@@ -313,9 +327,11 @@ func (s *Service) flush(b *batch) {
 // worker is a long-lived dispatch goroutine: per batch it acquires a
 // decoder from the pool, claims items until the batch is drained, and
 // releases the decoder. The last worker off a batch recycles it.
+//
+//vegapunk:hotpath
 func (s *Service) worker() {
 	defer s.wg.Done()
-	syn := gf2.NewVec(s.model.NumDet) // worker-owned syndrome-check scratch
+	syn := gf2.NewVec(s.model.NumDet) //vegapunk:allow(alloc) worker-owned scratch, once per goroutine lifetime
 	for b := range s.work {
 		dec, err := s.pool.Acquire(context.Background())
 		if err != nil { // unreachable with Background, kept for safety
@@ -339,10 +355,12 @@ func (s *Service) worker() {
 // process runs one decode and copies everything the caller needs out of
 // the decoder-owned result before the decoder can be reused — the pool
 // boundary ownership rule.
+//
+//vegapunk:hotpath
 func (s *Service) process(dec core.Decoder, req *request, syn gf2.Vec) {
-	t0 := time.Now()
+	t0 := time.Now() //vegapunk:allow(time) the decode-latency metric is the point of this read
 	est, stats := dec.Decode(req.syndrome)
-	s.met.decodeSeconds.Observe(time.Since(t0).Seconds())
+	s.met.decodeSeconds.Observe(time.Since(t0).Seconds()) //vegapunk:allow(time) the decode-latency metric is the point of this read
 
 	gf2.CopyVec(&req.correction, est)
 	s.mech.MulVecInto(syn, est)
