@@ -49,6 +49,121 @@ func FuzzSolveConsistency(f *testing.F) {
 	})
 }
 
+// fillDense populates an r×c dense matrix from fuzzer bytes, one
+// deterministic bit per entry.
+func fillDense(m *Dense, r, c int, data []byte) {
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			idx := (i*c + j) % len(data)
+			if data[idx]>>(uint(i*3+j)%8)&1 == 1 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+}
+
+// FuzzCSRRoundTrip: all three CSR construction paths (from dense, from
+// row adjacency, from column adjacency) must agree exactly, and the
+// flat layout must reconstruct the original dense matrix bit for bit.
+func FuzzCSRRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0x00, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		r := int(data[0]%20) + 1
+		c := int(data[1]%20) + 1
+		m := NewDense(r, c)
+		fillDense(m, r, c, data)
+
+		fromDense := CSRFromDense(m)
+		fromRows := CSRFromSparse(SparseRowsFromDense(m))
+		fromCols := CSRFromCols(SparseFromDense(m))
+		for _, cs := range []*CSR{fromDense, fromRows, fromCols} {
+			if cs.Rows() != r || cs.Cols() != c || cs.NNZ() != m.NNZ() {
+				t.Fatalf("CSR shape/NNZ mismatch: got %dx%d nnz=%d, want %dx%d nnz=%d",
+					cs.Rows(), cs.Cols(), cs.NNZ(), r, c, m.NNZ())
+			}
+		}
+		back := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			a, b := fromDense.RowSpan(i), fromRows.RowSpan(i)
+			cSpan := fromCols.RowSpan(i)
+			if len(a) != len(b) || len(a) != len(cSpan) {
+				t.Fatalf("row %d span lengths disagree: %d %d %d", i, len(a), len(b), len(cSpan))
+			}
+			prev := int32(-1)
+			for k := range a {
+				if a[k] != b[k] || a[k] != cSpan[k] {
+					t.Fatalf("row %d entry %d disagrees: %d %d %d", i, k, a[k], b[k], cSpan[k])
+				}
+				if a[k] <= prev {
+					t.Fatalf("row %d span not strictly ascending at %d", i, k)
+				}
+				prev = a[k]
+				back.Set(i, int(a[k]), true)
+			}
+		}
+		if !back.Equal(m) {
+			t.Fatal("CSR does not round-trip the dense matrix")
+		}
+	})
+}
+
+// FuzzCSCMatVec: CSC mat-vec and column XOR must match the dense
+// reference for arbitrary matrices and input vectors.
+func FuzzCSCMatVec(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5})
+	f.Add([]byte{0xAA, 0x55})
+	f.Add([]byte{0x01, 0x02, 0x04, 0x08})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		r := int(data[0]%20) + 1
+		c := int(data[1]%20) + 1
+		m := NewDense(r, c)
+		fillDense(m, r, c, data)
+
+		x := NewVec(c)
+		for j := 0; j < c; j++ {
+			if data[(j+2)%len(data)]>>(uint(j)%8)&1 == 1 {
+				x.Set(j, true)
+			}
+		}
+		want := m.MulVec(x)
+
+		csc := CSCFromDense(m)
+		if csc.NNZ() != m.NNZ() {
+			t.Fatalf("CSC NNZ = %d, dense NNZ = %d", csc.NNZ(), m.NNZ())
+		}
+		out := NewVec(r)
+		csc.MulVecInto(out, x)
+		if !out.Equal(want) {
+			t.Fatal("CSC.MulVecInto disagrees with dense MulVec")
+		}
+		if !CSCFromSparse(SparseFromDense(m)).MulVec(x).Equal(want) {
+			t.Fatal("CSCFromSparse MulVec disagrees with dense MulVec")
+		}
+		if !CSRFromDense(m).MulVec(x).Equal(want) {
+			t.Fatal("CSR.MulVec disagrees with dense MulVec")
+		}
+
+		// XorColInto over x's support must reproduce the product from zero.
+		acc := NewVec(r)
+		for j := 0; j < c; j++ {
+			if x.Get(j) {
+				csc.XorColInto(acc, j)
+			}
+		}
+		if !acc.Equal(want) {
+			t.Fatal("XorColInto accumulation disagrees with MulVec")
+		}
+	})
+}
+
 // FuzzTransposeRank: rank is transpose-invariant for arbitrary bit
 // patterns.
 func FuzzTransposeRank(f *testing.F) {

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRequestJSON throws arbitrary bytes at the /v1/decode
+// request path: the JSON unmarshal plus parseBits on every syndrome
+// string. Neither step may panic, and parseBits must uphold its
+// contract — on success the vector length equals the string length and
+// every bit matches; on failure the input must contain a non-0/1 byte.
+func FuzzDecodeRequestJSON(f *testing.F) {
+	f.Add([]byte(`{"model":"bb72","syndrome":"0101"}`))
+	f.Add([]byte(`{"model":"bb72","syndromes":["0","1","01"]}`))
+	f.Add([]byte(`{"syndrome":"01x1"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"model":123,"syndrome":[]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req decodeRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		raw := req.Syndromes
+		if req.Syndrome != "" {
+			raw = append([]string{req.Syndrome}, raw...)
+		}
+		for _, s := range raw {
+			v, err := parseBits(s)
+			if err != nil {
+				ok := true
+				for i := 0; i < len(s); i++ {
+					if s[i] != '0' && s[i] != '1' {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					t.Fatalf("parseBits rejected a valid 0/1 string %q: %v", s, err)
+				}
+				continue
+			}
+			if v.Len() != len(s) {
+				t.Fatalf("parseBits(%q) length = %d, want %d", s, v.Len(), len(s))
+			}
+			for i := 0; i < len(s); i++ {
+				if v.Get(i) != (s[i] == '1') {
+					t.Fatalf("parseBits(%q) bit %d = %v, want %v", s, i, v.Get(i), s[i] == '1')
+				}
+			}
+		}
+	})
+}
