@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -41,6 +42,11 @@ type decodeRequest struct {
 type decodeResult struct {
 	Observables string `json:"observables"`
 	Satisfied   bool   `json:"satisfied"`
+	// Server-side per-stage breakdown (nanoseconds), reported by the
+	// daemon per syndrome.
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	DecodeNs    int64 `json:"decode_ns"`
+	CopyOutNs   int64 `json:"copy_out_ns"`
 }
 
 type decodeResponse struct {
@@ -119,7 +125,9 @@ func run() int {
 		failures  int
 		syndromes int
 		httpErrs  int
-		wg        sync.WaitGroup
+		// Server-reported per-stage sums (ns) across all syndromes.
+		queueWaitNs, decodeNs, copyOutNs int64
+		wg                               sync.WaitGroup
 	)
 	t0 := time.Now()
 	for w := 0; w < *concurrency; w++ {
@@ -153,6 +161,9 @@ func run() int {
 					latencies = append(latencies, lat)
 					for j, res := range out.Results {
 						syndromes++
+						queueWaitNs += res.QueueWaitNs
+						decodeNs += res.DecodeNs
+						copyOutNs += res.CopyOutNs
 						if j < len(item.actual) && res.Observables != item.actual[j] {
 							failures++
 						}
@@ -169,11 +180,27 @@ func run() int {
 		logger.Printf("no successful requests (http_errors=%d); is vegapunkd up at %s with model %s?", httpErrs, *addr, key)
 		return 1
 	}
+	// Nearest-rank percentiles over the full sorted sample set: the
+	// q-quantile is the smallest sample with at least ceil(q*n) samples
+	// at or below it (so p99 of 200 samples is sample 198, not an
+	// index truncated toward the median).
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(q float64) time.Duration { return latencies[int(q*float64(len(latencies)-1))] }
+	pct := func(q float64) time.Duration {
+		idx := int(math.Ceil(q*float64(len(latencies)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(latencies) {
+			idx = len(latencies) - 1
+		}
+		return latencies[idx]
+	}
 	qps := float64(len(latencies)) / elapsed.Seconds()
 	sps := float64(syndromes) / elapsed.Seconds()
 	failRate := float64(failures) / float64(max(syndromes, 1))
+	perSyn := func(sum int64) time.Duration {
+		return time.Duration(sum / int64(max(syndromes, 1))).Round(time.Microsecond)
+	}
 
 	// The one-line summary is the trackable serving benchmark: keep the
 	// field set stable across PRs.
@@ -183,6 +210,11 @@ func run() int {
 		key, *seed, *requests, *batchSize, *concurrency,
 		len(latencies), httpErrs, syndromes, elapsed.Round(time.Millisecond), qps, sps,
 		pct(0.50), pct(0.99), latencies[len(latencies)-1], failures, failRate)
+	// Server-side stage breakdown (mean per syndrome): where the latency
+	// budget actually goes — waiting in the micro-batch queue, the
+	// decoder call, or the pool-boundary copy-out.
+	fmt.Printf("decodeload: stages queue_wait_mean=%s decode_mean=%s copy_out_mean=%s\n",
+		perSyn(queueWaitNs), perSyn(decodeNs), perSyn(copyOutNs))
 	if httpErrs > 0 {
 		return 1
 	}

@@ -8,9 +8,12 @@
 //	experiments -list                # show available ids
 //	experiments -run table2 -quality full -workers 16
 //	experiments -run fig10 -cpuprofile cpu.out -memprofile mem.out
+//	experiments -run fig10 -trace trace.json
 //
 // The profile outputs are standard pprof files; inspect them with
-// `go tool pprof cpu.out`.
+// `go tool pprof cpu.out`. The -trace output is Chrome trace_event JSON
+// of the sampled per-stage decode spans; load it in chrome://tracing or
+// Perfetto.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"vegapunk/internal/exp"
+	"vegapunk/internal/obs"
 )
 
 // main delegates to run so that deferred cleanup (notably stopping the
@@ -37,6 +41,7 @@ func run() int {
 		seed       = flag.Uint64("seed", 2025, "random seed")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "write sampled decode spans as Chrome trace JSON to this file")
 	)
 	flag.Parse()
 
@@ -82,6 +87,12 @@ func run() int {
 	}
 
 	cfg := exp.Config{Out: os.Stdout, Quality: q, Workers: *workers, Seed: *seed}
+	if *traceOut != "" {
+		// Sample every decode: the per-worker rings are bounded and keep
+		// the newest spans, so the trace ends up covering the tail of the
+		// run at full resolution.
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{SampleEvery: 1})
+	}
 	ws := exp.NewWorkspace()
 
 	var runners []exp.Runner
@@ -106,6 +117,21 @@ func run() int {
 		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
 	}
 
+	if cfg.Tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		werr := cfg.Tracer.WriteTrace(f, 0)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", werr)
+			return 1
+		}
+	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {

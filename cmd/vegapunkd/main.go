@@ -7,10 +7,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/decode   {"model": "<key>", "syndrome": "0101..."} or {"syndromes": [...]}
-//	GET  /v1/models   registered model keys and dimensions
-//	GET  /metrics     Prometheus text format
-//	GET  /healthz     liveness
+//	POST /v1/decode        {"model": "<key>", "syndrome": "0101..."} or {"syndromes": [...]}
+//	GET  /v1/models        registered model keys and dimensions
+//	GET  /metrics          Prometheus text format
+//	GET  /healthz          liveness
+//	GET  /debug/decodetrace  sampled decode spans as Chrome trace JSON
+//
+// With -debug-addr a second localhost listener serves net/http/pprof
+// (/debug/pprof/...) plus the same decode-trace dump; with -slow-log
+// every request slower than -slow-threshold is appended to the given
+// file as one JSON line.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, queues
 // flush, then the process exits 0.
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +38,7 @@ import (
 	"vegapunk/internal/dem"
 	"vegapunk/internal/exp"
 	"vegapunk/internal/hier"
+	"vegapunk/internal/obs"
 	"vegapunk/internal/serve"
 )
 
@@ -50,11 +58,41 @@ func run() int {
 	wait := fs.Duration("wait", 200*time.Microsecond, "micro-batch flush deadline under saturation")
 	inflight := fs.Int("inflight", 64, "max concurrently admitted HTTP decode requests")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-request decode deadline")
+	debugAddr := fs.String("debug-addr", "", "optional localhost listener for /debug/pprof and /debug/decodetrace (e.g. 127.0.0.1:8472)")
+	traceSample := fs.Uint64("trace-sample", 8, "trace one in N decodes into the span rings (0 disables tracing)")
+	slowLogPath := fs.String("slow-log", "", "append slow-request JSON lines to this file ('-' for stderr)")
+	slowThreshold := fs.Duration("slow-threshold", 10*time.Millisecond, "end-to-end latency above which a request is logged as slow")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
 
 	logger := log.New(os.Stderr, "vegapunkd ", log.LstdFlags|log.Lmicroseconds)
+
+	tracer := obs.NewTracer(obs.TracerConfig{SampleEvery: *traceSample})
+	if *traceSample == 0 {
+		tracer.SetEnabled(false)
+	}
+	var slowLog *obs.SlowLog
+	switch *slowLogPath {
+	case "":
+	case "-":
+		slowLog = obs.NewSlowLog(os.Stderr, 0)
+	default:
+		f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Printf("open slow log: %v", err)
+			return 1
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				logger.Printf("close slow log: %v", cerr)
+			}
+		}()
+		slowLog = obs.NewSlowLog(f, 0)
+	}
+	if slowLog != nil {
+		defer slowLog.Close()
+	}
 
 	b, ok := findBenchmark(*codeName)
 	if !ok {
@@ -74,6 +112,9 @@ func run() int {
 		PoolSize:       *pool,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
+		Tracer:         tracer,
+		SlowLog:        slowLog,
+		SlowThreshold:  *slowThreshold,
 	})
 	for _, name := range strings.Split(*decoders, ",") {
 		name = strings.TrimSpace(name)
@@ -93,6 +134,16 @@ func run() int {
 		}
 		logger.Printf("registered model=%s decoder=%s detectors=%d mechanisms=%d",
 			key, display, model.NumDet, model.NumMech())
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux(tracer)}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+		logger.Printf("debug endpoints (pprof, decodetrace) on %s", *debugAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 	"vegapunk/internal/tanner"
 )
 
@@ -68,6 +69,8 @@ type Decoder struct {
 	posterior              []float64
 	hard                   gf2.Vec
 	syn                    gf2.Vec // syndrome-check scratch
+
+	probe *obs.Probe // per-iteration span recording (inactive by default)
 }
 
 // New builds a decoder for the sparse check matrix h with per-variable
@@ -90,6 +93,7 @@ func New(h *gf2.SparseCols, priorLLR []float64, cfg Config) *Decoder {
 		posterior:  make([]float64, g.NumVars),
 		hard:       gf2.NewVec(g.NumVars),
 		syn:        gf2.NewVec(g.NumChecks),
+		probe:      obs.NewProbe(),
 	}
 }
 
@@ -101,8 +105,12 @@ func (d *Decoder) Clone() *Decoder {
 	c.posterior = make([]float64, len(d.posterior))
 	c.hard = gf2.NewVec(d.g.NumVars)
 	c.syn = gf2.NewVec(d.g.NumChecks)
+	c.probe = obs.NewProbe()
 	return &c
 }
+
+// Probe exposes the decoder's span-recording handle (obs.Probed).
+func (d *Decoder) Probe() *obs.Probe { return d.probe }
 
 // Result reports a BP decode.
 type Result struct {
@@ -141,6 +149,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 			d.checkToVar[i] = 0
 		}
 	}
+	t := d.probe.Tick()
 	for it := 1; it <= d.cfg.MaxIters; it++ {
 		res.Iters = it
 		if d.cfg.Schedule == Layered {
@@ -149,7 +158,9 @@ func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 			d.checkUpdate(syndrome)
 			d.varUpdate()
 		}
-		if d.hardDecision(syndrome) {
+		conv := d.hardDecision(syndrome)
+		t = d.probe.SpanSince(obs.StageBPIter, it, t)
+		if conv {
 			res.Converged = true
 			break
 		}

@@ -9,6 +9,7 @@ import (
 
 	"vegapunk/internal/bp"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // Config parameterizes BPGD.
@@ -74,6 +75,10 @@ type Result struct {
 // decimatedLLR is the magnitude used to freeze a decided variable.
 const decimatedLLR = 50.0
 
+// Probe exposes the inner BP decoder's recording handle (obs.Probed);
+// round spans share it, so one activation traces the whole decode.
+func (d *Decoder) Probe() *obs.Probe { return d.inner.Probe() }
+
 // Decode runs guided decimation against the syndrome.
 func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 	copy(d.work, d.prior)
@@ -82,10 +87,13 @@ func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 	}
 	res := Result{}
 
+	p := d.inner.Probe()
+	t := p.Tick()
 	for round := 1; round <= d.cfg.MaxRounds; round++ {
 		res.Rounds = round
 		r := d.inner.Decode(syndrome)
 		res.TotalIters += r.Iters
+		t = p.SpanSince(obs.StageBPGDRound, round, t)
 		if r.Converged {
 			res.Error = r.Error
 			res.Converged = true

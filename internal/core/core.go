@@ -14,6 +14,7 @@ import (
 	"vegapunk/internal/gf2"
 	"vegapunk/internal/hier"
 	"vegapunk/internal/lsd"
+	"vegapunk/internal/obs"
 	"vegapunk/internal/osd"
 )
 
@@ -25,6 +26,9 @@ type Stats struct {
 	BPIters int
 	// BPConverged reports whether plain BP sufficed.
 	BPConverged bool
+	// Fallback reports whether OSD/LSD post-processing ran (BP+OSD and
+	// BP+LSD when BP failed to converge).
+	Fallback bool
 	// Hier is the hierarchical decode trace (Vegapunk only).
 	Hier hier.Trace
 	// BPGDRounds is the decimation round count (BPGD only).
@@ -98,6 +102,9 @@ func NewVegapunkFrom(model *dem.Model, dec *decouple.Decoupling, cfg hier.Config
 // Name implements Decoder.
 func (v *Vegapunk) Name() string { return v.name }
 
+// Probe exposes the online decoder's span-recording handle (obs.Probed).
+func (v *Vegapunk) Probe() *obs.Probe { return v.online.Probe() }
+
 // Decode implements Decoder.
 func (v *Vegapunk) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	e, tr := v.online.Decode(s)
@@ -130,6 +137,8 @@ func NewBP(model *dem.Model, maxIters int) Decoder {
 
 func (b *bpDecoder) Name() string { return b.name }
 
+func (b *bpDecoder) Probe() *obs.Probe { return b.d.Probe() }
+
 func (b *bpDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)
 	return r.Error, Stats{BPIters: r.Iters, BPConverged: r.Converged}
@@ -158,9 +167,11 @@ func NewBPOSD(model *dem.Model, bpIters, order int) Decoder {
 
 func (b *bposdDecoder) Name() string { return b.name }
 
+func (b *bposdDecoder) Probe() *obs.Probe { return b.d.Probe() }
+
 func (b *bposdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)
-	return r.Error, Stats{BPIters: r.BPIters, BPConverged: r.BPConverged}
+	return r.Error, Stats{BPIters: r.BPIters, BPConverged: r.BPConverged, Fallback: !r.BPConverged}
 }
 
 // ---- BP+LSD ----
@@ -177,9 +188,11 @@ func NewBPLSD(model *dem.Model) Decoder {
 
 func (l *lsdDecoder) Name() string { return "BP+LSD" }
 
+func (l *lsdDecoder) Probe() *obs.Probe { return l.d.Probe() }
+
 func (l *lsdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := l.d.Decode(s)
-	return r.Error, Stats{BPIters: r.BPIters, BPConverged: r.BPConverged, LSDMaxCluster: r.MaxClusterChecks}
+	return r.Error, Stats{BPIters: r.BPIters, BPConverged: r.BPConverged, Fallback: !r.BPConverged, LSDMaxCluster: r.MaxClusterChecks}
 }
 
 // ---- BPGD ----
@@ -195,6 +208,8 @@ func NewBPGD(model *dem.Model) Decoder {
 }
 
 func (b *bpgdDecoder) Name() string { return "BPGD" }
+
+func (b *bpgdDecoder) Probe() *obs.Probe { return b.d.Probe() }
 
 func (b *bpgdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)

@@ -53,7 +53,7 @@ func Fig12(cfg Config, ws *Workspace) error {
 		}
 		mc := sim.MemoryConfig{
 			Rounds: 1, Shots: cfg.shots(2000), MaxFailures: cfg.shots(2000) / 4,
-			Workers: cfg.Workers, Seed: cfg.Seed,
+			Workers: cfg.Workers, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		}
 		rV := sim.RunMemory(st, func() core.Decoder {
 			return core.NewVegapunkFrom(st, dcp, hier.Config{MaxIters: 3})
@@ -117,6 +117,7 @@ func Fig13(cfg Config, ws *Workspace) error {
 				Shots:   cfg.shots(500),
 				Workers: cfg.Workers,
 				Seed:    cfg.Seed + uint64(m),
+				Tracer:  cfg.Tracer,
 			})
 			wc := params.VegapunkLatency(dcp, m, 3)
 			avgOuter := int(r.MeanOuter + 0.999)

@@ -18,6 +18,7 @@ import (
 	"vegapunk/internal/code"
 	"vegapunk/internal/decouple"
 	"vegapunk/internal/dem"
+	"vegapunk/internal/obs"
 )
 
 // Quality selects the Monte-Carlo budget.
@@ -39,6 +40,10 @@ type Config struct {
 	Quality Quality
 	Workers int
 	Seed    uint64
+	// Tracer, when set, samples decodes from every memory experiment into
+	// span rings for Chrome trace export (cmd/experiments -trace). It
+	// never changes decode results.
+	Tracer *obs.Tracer
 }
 
 func (c Config) shots(base int) int {

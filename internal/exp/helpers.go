@@ -92,6 +92,7 @@ func (w *Workspace) runLER(cfg Config, b Benchmark, name string, p float64, base
 		MaxFailures: cfg.shots(baseShots) / 4,
 		Workers:     cfg.Workers,
 		Seed:        cfg.Seed + uint64(len(name))*7919,
+		Tracer:      cfg.Tracer,
 	}), nil
 }
 

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
+)
+
+// TestTracingDoesNotChangeDecodes is the observability equivalence
+// keystone: with tracing fully armed (sample every decode), every
+// decoder must return bit-identical corrections and identical Stats to
+// an untraced twin on the same seeded syndrome stream. Probes may only
+// watch the decode, never steer it.
+func TestTracingDoesNotChangeDecodes(t *testing.T) {
+	ws := NewWorkspace()
+	cfg := Config{Quality: Quick, Workers: 1, Seed: 7}
+	b := Benchmarks()[6] // HP [[162,2,4]]: small enough for all decoders
+	if b.Family != "HP" {
+		t.Fatalf("expected the small HP benchmark, got %+v", b)
+	}
+	model, err := ws.Model(b, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{DecBP, DecVegapunk, DecBPOSD, DecBPLSD, DecBPGD} {
+		t.Run(name, func(t *testing.T) {
+			f, err := ws.factory(cfg, b, model, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := f()
+			traced := f()
+			tracer := obs.NewTracer(obs.TracerConfig{SampleEvery: 1})
+			ring := tracer.Ring()
+			probe := obs.ProbeOf(traced)
+
+			rng := rand.New(rand.NewPCG(7, 1))
+			e := gf2.NewVec(model.NumMech())
+			syn := gf2.NewVec(model.NumDet)
+			for i := 0; i < 40; i++ {
+				model.SampleInto(e, rng)
+				model.SyndromeInto(syn, e)
+				estA, statsA := plain.Decode(syn)
+				want := estA.Clone() // decoder-owned, copy before the twin runs
+				probe.Activate(ring, tracer.NextID())
+				estB, statsB := traced.Decode(syn)
+				probe.Deactivate()
+				if !want.Equal(estB) {
+					t.Fatalf("decode %d: traced correction differs from untraced", i)
+				}
+				if statsA != statsB {
+					t.Fatalf("decode %d: stats diverge: untraced %+v traced %+v", i, statsA, statsB)
+				}
+			}
+			if len(tracer.Spans()) == 0 {
+				t.Error("no spans recorded; the probe never armed the decoder")
+			}
+		})
+	}
+}

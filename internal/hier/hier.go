@@ -20,6 +20,7 @@ import (
 
 	"vegapunk/internal/decouple"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // Config tunes the online decoder.
@@ -106,6 +107,11 @@ type Decoder struct {
 	out       gf2.Vec    // recovered error in original order, length N
 	onesBuf   []int      // AppendOnes scratch
 	results   []cand     // parallel per-worker bests, Workers entries
+
+	// probe records base-solve and per-level spans. Only the Decode
+	// goroutine records (the parallel candidate sweep stays silent —
+	// rings are single-writer).
+	probe *obs.Probe
 }
 
 // cand is a candidate right-error flip with its objective delta.
@@ -149,6 +155,7 @@ func New(dec *decouple.Decoupling, originalWeights []float64, cfg Config) *Decod
 		out:        gf2.NewVec(dec.N),
 		onesBuf:    make([]int, 0, dec.ND),
 		results:    make([]cand, cfg.Workers),
+		probe:      obs.NewProbe(),
 	}
 	if d.smallBlock {
 		nB := dec.ND - dec.MD
@@ -188,6 +195,9 @@ func newBlockSols(dec *decouple.Decoupling) []blockSol {
 	return sols
 }
 
+// Probe exposes the decoder's span-recording handle (obs.Probed).
+func (d *Decoder) Probe() *obs.Probe { return d.probe }
+
 func (d *Decoder) newScratch() *scratch {
 	return &scratch{
 		sl:   gf2.NewVec(d.dec.MD),
@@ -225,6 +235,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 	d.slBase.CopyFrom(d.sPrime)                     // s' ⊕ A·rBest (rBest = 0)
 
 	// Baseline solution: decode every block against slBase.
+	t := d.probe.Tick()
 	for g := 0; g < dec.K; g++ {
 		dec.BlockSyndromeInto(d.scratch.sl, d.slBase, g)
 		d.greedyGuess(g, d.scratch.sl, &d.sols[g])
@@ -234,6 +245,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 		}
 	}
 	dMin := d.totalWeight()
+	t = d.probe.SpanSince(obs.StageHierBase, dec.K, t)
 
 	for k := 1; k <= d.cfg.MaxIters; k++ { // line 3
 		tr.OuterIters = k
@@ -284,6 +296,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 		}
 
 		if bestI < 0 || bestDelta >= 0 { // lines 11, 13-14
+			t = d.probe.SpanSince(obs.StageHierLevel, k, t)
 			break
 		}
 		// Recompute the winning candidate's touched block solutions once,
@@ -322,6 +335,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 			tr.BlockDecodes++
 		}
 		dMin += bestDelta
+		t = d.probe.SpanSince(obs.StageHierLevel, k, t)
 	}
 
 	// Assemble e' and recover e = P·e' (line 15).

@@ -10,6 +10,7 @@ import (
 
 	"vegapunk/internal/bp"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // Decoder is a BP+LSD decoder bound to one check matrix. The union-find
@@ -79,13 +80,20 @@ type Result struct {
 	Clusters, MaxClusterChecks int
 }
 
+// Probe exposes the BP stage's recording handle (obs.Probed); fallback
+// spans share it, so one activation traces the whole chain.
+func (d *Decoder) Probe() *obs.Probe { return d.bp.Probe() }
+
 // Decode runs BP and, on failure, localized cluster solving.
 func (d *Decoder) Decode(syndrome gf2.Vec) Result {
 	r := d.bp.Decode(syndrome)
 	if r.Converged {
 		return Result{Error: r.Error, BPConverged: true, BPIters: r.Iters}
 	}
+	p := d.bp.Probe()
+	t := p.Tick()
 	e, nc, maxc := d.clusterSolve(syndrome, r.Posterior)
+	p.SpanSince(obs.StageFallback, maxc, t)
 	return Result{Error: e, BPIters: r.Iters, Clusters: nc, MaxClusterChecks: maxc}
 }
 

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 111.5 {
+		t.Errorf("Sum = %g, want 111.5", h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %g, want 2 (bucket upper bound)", q)
+	}
+	if q := h.Quantile(1.0); q != 8 {
+		t.Errorf("p100 = %g, want the largest finite bound 8", q)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(3) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestDecodeMetricsRecordGating(t *testing.T) {
+	m := NewDecodeMetrics()
+	// A BP-only decode: no hier/BPGD/LSD stages ran.
+	m.Record(12, true, false, 0, 0, 0, 3)
+	// A Vegapunk decode with fallback.
+	m.Record(30, false, true, 2, 0, 5, 0)
+	if m.Decodes.Load() != 2 || m.BPConverged.Load() != 1 || m.Fallback.Load() != 1 {
+		t.Errorf("counters: decodes=%d converged=%d fallback=%d",
+			m.Decodes.Load(), m.BPConverged.Load(), m.Fallback.Load())
+	}
+	if m.BPIters.Count() != 2 {
+		t.Errorf("BPIters observed %d, want 2", m.BPIters.Count())
+	}
+	if m.HierLevels.Count() != 1 || m.BPGDRounds.Count() != 0 || m.LSDClusterChecks.Count() != 1 {
+		t.Errorf("stage histograms must observe only when the stage ran: hier=%d bpgd=%d lsd=%d",
+			m.HierLevels.Count(), m.BPGDRounds.Count(), m.LSDClusterChecks.Count())
+	}
+	// Weight-0 syndromes are real decodes and must be observed.
+	if m.SyndromeWeight.Count() != 2 {
+		t.Errorf("SyndromeWeight observed %d, want 2", m.SyndromeWeight.Count())
+	}
+}
+
+func TestDecodeMetricsRecordDoesNotAllocate(t *testing.T) {
+	m := NewDecodeMetrics()
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Record(12, true, false, 2, 1, 5, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestWriteDecodeFamiliesLintsClean(t *testing.T) {
+	m := NewDecodeMetrics()
+	m.Record(12, true, false, 2, 0, 0, 3)
+	var buf bytes.Buffer
+	WriteDecodeFamilies(&buf, []LabelledDecodeMetrics{{Labels: `model="test"`, M: m}})
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP vegapunk_decode_total",
+		"# TYPE vegapunk_decode_total counter",
+		`vegapunk_decode_bp_iterations_bucket{model="test",le="16"} 1`,
+		`vegapunk_decode_bp_iterations_count{model="test"} 1`,
+		"# TYPE vegapunk_decode_syndrome_weight histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if problems := LintExposition(strings.NewReader(out)); len(problems) > 0 {
+		t.Errorf("lint violations: %v", problems)
+	}
+}
+
+func TestLintExpositionCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"missing help",
+			"# TYPE x_total counter\nx_total 1\n",
+			"without # HELP"},
+		{"missing type",
+			"# HELP x_total help text\nx_total 1\n",
+			"without # TYPE"},
+		{"counter without _total",
+			"# HELP x help\n# TYPE x counter\nx 1\n",
+			"counter must end in _total"},
+		{"gauge with _total",
+			"# HELP x_total help\n# TYPE x_total gauge\nx_total 1\n",
+			"must not end in _total"},
+		{"reserved suffix",
+			"# HELP x_sum help\n# TYPE x_sum gauge\nx_sum 1\n",
+			"reserved suffix"},
+		{"duration without seconds",
+			"# HELP x_latency help\n# TYPE x_latency gauge\nx_latency 1\n",
+			"must end in _seconds"},
+		{"bad character",
+			"# HELP x-y help\n# TYPE x-y gauge\nx-y 1\n",
+			"invalid metric name character"},
+	}
+	for _, tc := range cases {
+		problems := LintExposition(strings.NewReader(tc.in))
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint missed the violation (got %v)", tc.name, problems)
+		}
+	}
+	clean := "# HELP ok_wait_seconds help\n# TYPE ok_wait_seconds histogram\n" +
+		"ok_wait_seconds_bucket{le=\"+Inf\"} 1\nok_wait_seconds_sum 0.5\nok_wait_seconds_count 1\n"
+	if problems := LintExposition(strings.NewReader(clean)); len(problems) > 0 {
+		t.Errorf("false positives on clean exposition: %v", problems)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition rendering. Each metric family is rendered
+// once (# HELP / # TYPE header followed by one sample set per label
+// set). The rendering path is cold and free to allocate.
+
+// WriteHeader emits the HELP/TYPE preamble for one family.
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteCounterSample emits one counter sample (no header). labels is a
+// pre-rendered `k="v",…` string or empty.
+func WriteCounterSample(w io.Writer, name, labels string, v uint64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+}
+
+// WriteGaugeSample emits one gauge sample (no header).
+func WriteGaugeSample(w io.Writer, name, labels string, v int64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+}
+
+// WriteProm renders the histogram's cumulative buckets, _sum and
+// _count under the given family name and label set (no header).
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum.Load())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum.Load())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+}
+
+// LabelledDecodeMetrics pairs one DecodeMetrics instance with its
+// pre-rendered label set (e.g. `model="bb-72-12-6/bp/p0.001"`).
+type LabelledDecodeMetrics struct {
+	Labels string
+	M      *DecodeMetrics
+}
+
+// decodeFamilies is the export schema of DecodeMetrics; the renderer
+// walks it so the server (many labelled instances) and the experiment
+// harness (one) emit identical family sets.
+var decodeFamilies = []struct {
+	name, help, typ string
+	counter         func(*DecodeMetrics) *Counter
+	hist            func(*DecodeMetrics) *Histogram
+}{
+	{name: "vegapunk_decode_total", help: "Decode calls observed by the decoder telemetry.", typ: "counter",
+		counter: func(m *DecodeMetrics) *Counter { return &m.Decodes }},
+	{name: "vegapunk_decode_bp_converged_total", help: "Decodes where plain BP reproduced the syndrome.", typ: "counter",
+		counter: func(m *DecodeMetrics) *Counter { return &m.BPConverged }},
+	{name: "vegapunk_decode_fallback_total", help: "Decodes that engaged OSD/LSD fallback post-processing.", typ: "counter",
+		counter: func(m *DecodeMetrics) *Counter { return &m.Fallback }},
+	{name: "vegapunk_decode_bp_iterations", help: "BP message-passing iterations per decode.", typ: "histogram",
+		hist: func(m *DecodeMetrics) *Histogram { return m.BPIters }},
+	{name: "vegapunk_decode_hier_levels", help: "Hierarchical outer levels per Vegapunk decode.", typ: "histogram",
+		hist: func(m *DecodeMetrics) *Histogram { return m.HierLevels }},
+	{name: "vegapunk_decode_bpgd_rounds", help: "Guided-decimation rounds per BPGD decode.", typ: "histogram",
+		hist: func(m *DecodeMetrics) *Histogram { return m.BPGDRounds }},
+	{name: "vegapunk_decode_lsd_cluster_checks", help: "Largest LSD cluster check count per fallback decode.", typ: "histogram",
+		hist: func(m *DecodeMetrics) *Histogram { return m.LSDClusterChecks }},
+	{name: "vegapunk_decode_syndrome_weight", help: "Hamming weight of decoded syndromes.", typ: "histogram",
+		hist: func(m *DecodeMetrics) *Histogram { return m.SyndromeWeight }},
+}
+
+// WriteDecodeFamilies renders every DecodeMetrics family across the
+// given labelled instances, HELP/TYPE once per family.
+func WriteDecodeFamilies(w io.Writer, insts []LabelledDecodeMetrics) {
+	for _, f := range decodeFamilies {
+		WriteHeader(w, f.name, f.help, f.typ)
+		for _, in := range insts {
+			if f.counter != nil {
+				WriteCounterSample(w, f.name, in.Labels, f.counter(in.M).Load())
+			} else {
+				f.hist(in.M).WriteProm(w, f.name, in.Labels)
+			}
+		}
+	}
+}
+
+// LintExposition audits a Prometheus text exposition for the repo's
+// naming conventions and returns one message per violation:
+//
+//   - every sample's family must have # HELP and # TYPE lines;
+//   - counter families must end in _total, non-counters must not;
+//   - family names must not end in the reserved _bucket/_sum/_count
+//     suffixes (histogram internals are derived, never declared);
+//   - names must match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//   - a family whose name mentions a duration must carry the _seconds
+//     unit suffix (before _total for counters).
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	typeOf := map[string]string{}
+	helped := map[string]bool{}
+	sampled := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) < 2 || fields[1] == "" {
+				problems = append(problems, fmt.Sprintf("HELP without text: %q", line))
+			}
+			if len(fields) > 0 {
+				helped[fields[0]] = true
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				problems = append(problems, fmt.Sprintf("malformed TYPE line: %q", line))
+				continue
+			}
+			typeOf[fields[0]] = fields[1]
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			sampled[name] = true
+		}
+	}
+	// Resolve derived histogram/summary samples (_bucket/_sum/_count) to
+	// their declaring family — but only when that family was TYPEd as
+	// one; a standalone gauge named x_sum is a violation, not a
+	// histogram internal.
+	families := map[string]bool{}
+	for name := range sampled {
+		fam := name
+		if _, declared := typeOf[name]; !declared {
+			if base := familyOf(name); base != name {
+				if t := typeOf[base]; t == "histogram" || t == "summary" {
+					fam = base
+				}
+			}
+		}
+		families[fam] = true
+	}
+	for fam := range families {
+		typ, ok := typeOf[fam]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: sample without # TYPE", fam))
+			continue
+		}
+		if !helped[fam] {
+			problems = append(problems, fmt.Sprintf("%s: sample without # HELP", fam))
+		}
+		problems = append(problems, lintName(fam, typ)...)
+	}
+	return problems
+}
+
+// familyOf strips the derived histogram/summary sample suffixes so
+// name_bucket/_sum/_count resolve to their declaring family when that
+// family was TYPEd.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// lintName applies the per-family naming rules.
+func lintName(name, typ string) []string {
+	var problems []string
+	for i, r := range name {
+		ok := r == '_' || r == ':' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: invalid metric name character %q", name, r))
+			break
+		}
+	}
+	base := name
+	if typ == "counter" {
+		if !strings.HasSuffix(name, "_total") {
+			problems = append(problems, fmt.Sprintf("%s: counter must end in _total", name))
+		}
+		base = strings.TrimSuffix(name, "_total")
+	} else if strings.HasSuffix(name, "_total") {
+		problems = append(problems, fmt.Sprintf("%s: %s must not end in _total", name, typ))
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(base, suf) {
+			problems = append(problems, fmt.Sprintf("%s: family name ends in reserved suffix %s", name, suf))
+		}
+	}
+	for _, unit := range []string{"latency", "duration", "wait", "time"} {
+		if strings.Contains(base, unit) && !strings.HasSuffix(base, "_seconds") {
+			problems = append(problems, fmt.Sprintf("%s: duration-like metric must end in _seconds", name))
+			break
+		}
+	}
+	return problems
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export: the sampled decode spans rendered as
+// complete ("ph":"X") events, loadable in chrome://tracing or Perfetto.
+// Each recording goroutine's ring becomes one tid, so queue/batch/
+// decode stages line up per worker lane.
+
+// traceEvent is one trace_event entry (the subset we emit).
+type traceEvent struct {
+	Name string    `json:"name"`
+	Cat  string    `json:"cat"`
+	Ph   string    `json:"ph"`
+	TS   float64   `json:"ts"`  // microseconds
+	Dur  float64   `json:"dur"` // microseconds
+	PID  int       `json:"pid"`
+	TID  int       `json:"tid"`
+	Args traceArgs `json:"args"`
+}
+
+type traceArgs struct {
+	ID  uint32 `json:"id"`
+	Arg int32  `json:"arg"`
+}
+
+// traceFile is the object form of the trace_event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the tracer's current spans as Chrome trace_event
+// JSON. maxSpans > 0 keeps only the newest maxSpans spans (per their
+// start tick); 0 writes everything currently buffered.
+func (t *Tracer) WriteTrace(w io.Writer, maxSpans int) error {
+	perRing := t.snapshotPerRing()
+	var events []traceEvent
+	for tid, spans := range perRing {
+		for _, s := range spans {
+			events = append(events, traceEvent{
+				Name: s.Stage.Name(),
+				Cat:  "decode",
+				Ph:   "X",
+				TS:   float64(s.Start) / 1e3,
+				Dur:  float64(s.End-s.Start) / 1e3,
+				PID:  1,
+				TID:  tid,
+				Args: traceArgs{ID: s.ID, Arg: s.Arg},
+			})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	if maxSpans > 0 && len(events) > maxSpans {
+		events = events[len(events)-maxSpans:]
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// TraceHandler serves the tracer's buffered spans as Chrome trace JSON:
+// GET /debug/decodetrace?n=500 bounds the span count.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				fmt.Fprintf(w, "bad n %q\n", q)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteTrace(w, n); err != nil {
+			// Headers are gone; nothing useful left to do.
+			return
+		}
+	})
+}
+
+// DebugMux builds the diagnostic mux served on a daemon's -debug-addr:
+// the stdlib pprof endpoints plus the decode-trace dump. Keep this
+// listener on localhost or behind auth — profiles expose internals.
+func DebugMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if t != nil {
+		mux.Handle("/debug/decodetrace", TraceHandler(t))
+	}
+	return mux
+}

@@ -3,6 +3,7 @@ package osd
 import (
 	"vegapunk/internal/bp"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // BPOSD chains belief propagation with OSD post-processing: the paper's
@@ -33,14 +34,22 @@ type Result struct {
 	BPIters int
 }
 
+// Probe exposes the BP stage's recording handle (obs.Probed); fallback
+// spans share it, so one activation traces the whole chain.
+func (d *BPOSD) Probe() *obs.Probe { return d.bp.Probe() }
+
 // Decode runs BP and, on non-convergence, OSD.
 func (d *BPOSD) Decode(syndrome gf2.Vec) Result {
 	r := d.bp.Decode(syndrome)
 	if r.Converged {
 		return Result{Error: r.Error, BPConverged: true, BPIters: r.Iters}
 	}
+	p := d.bp.Probe()
+	t := p.Tick()
+	e := d.osd.Decode(syndrome, r.Posterior)
+	p.SpanSince(obs.StageFallback, 0, t)
 	return Result{
-		Error:   d.osd.Decode(syndrome, r.Posterior),
+		Error:   e,
 		BPIters: r.Iters,
 	}
 }

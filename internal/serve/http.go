@@ -14,6 +14,7 @@ import (
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // maxBodyBytes bounds a decode request body; syndromes are 0/1 strings
@@ -101,6 +102,9 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
+	if s.cfg.Tracer != nil {
+		mux.Handle("/debug/decodetrace", obs.TraceHandler(s.cfg.Tracer))
+	}
 	return mux
 }
 
@@ -156,6 +160,12 @@ type decodeResult struct {
 	// BPIters is the decoder's message-passing iteration count, when
 	// the decoder reports one.
 	BPIters int `json:"bp_iters,omitempty"`
+	// Per-stage server-side latency breakdown in nanoseconds:
+	// admission-to-dispatch wait, the decoder call, and the
+	// pool-boundary copy-out (cmd/decodeload aggregates these).
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	DecodeNs    int64 `json:"decode_ns"`
+	CopyOutNs   int64 `json:"copy_out_ns"`
 }
 
 type decodeResponse struct {
@@ -270,6 +280,9 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 			Satisfied:         res.Satisfied,
 			Weight:            res.Correction.Weight(),
 			BPIters:           res.Stats.BPIters,
+			QueueWaitNs:       res.QueueWaitNs,
+			DecodeNs:          res.DecodeNs,
+			CopyOutNs:         res.CopyOutNs,
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

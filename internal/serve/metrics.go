@@ -3,122 +3,39 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
-	"sync/atomic"
+
+	"vegapunk/internal/obs"
 )
 
-// The observability layer: atomic counters, gauges and fixed-bucket
-// histograms rendered in Prometheus text exposition format. Observation
-// (the hot path) is a handful of atomic operations and allocates
-// nothing; rendering (GET /metrics) is free to allocate.
+// The metric primitives (counters, gauges, fixed-bucket histograms and
+// the Prometheus text rendering) live in internal/obs so the simulator
+// and the experiment harness report the same telemetry as the server;
+// the aliases below keep serve's call sites unchanged.
 
-// Counter is a monotonically increasing metric.
-type Counter struct{ v atomic.Uint64 }
+// Counter is a monotonically increasing metric (alias of obs.Counter).
+type Counter = obs.Counter
 
-// Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
+// Gauge is a value that can go up and down (alias of obs.Gauge).
+type Gauge = obs.Gauge
 
-// Load returns the current value.
-func (c *Counter) Load() uint64 { return c.v.Load() }
-
-// Gauge is a value that can go up and down (e.g. queue depth).
-type Gauge struct{ v atomic.Int64 }
-
-// Add moves the gauge by delta.
-func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
-
-// Load returns the current value.
-func (g *Gauge) Load() int64 { return g.v.Load() }
-
-// atomicFloat accumulates a float64 sum with CAS, allocation-free.
-type atomicFloat struct{ bits atomic.Uint64 }
-
-func (f *atomicFloat) Add(v float64) {
-	for {
-		old := f.bits.Load()
-		nw := math.Float64bits(math.Float64frombits(old) + v)
-		if f.bits.CompareAndSwap(old, nw) {
-			return
-		}
-	}
-}
-
-func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
-
-// Histogram is a fixed-boundary histogram. Buckets are non-cumulative
-// internally and rendered cumulatively (Prometheus `le` convention).
-type Histogram struct {
-	bounds []float64       // upper bounds, ascending
-	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Uint64
-	sum    atomicFloat
-}
+// Histogram is a fixed-boundary histogram (alias of obs.Histogram).
+type Histogram = obs.Histogram
 
 // NewHistogram builds a histogram with the given ascending upper
 // bounds.
-func NewHistogram(bounds ...float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-}
+func NewHistogram(bounds ...float64) *Histogram { return obs.NewHistogram(bounds...) }
 
-// Observe records one sample. Allocation-free.
-func (h *Histogram) Observe(v float64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
-}
+// promHeader emits the HELP/TYPE preamble for one family.
+func promHeader(w io.Writer, name, help, typ string) { obs.WriteHeader(w, name, help, typ) }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Sum returns the sum of observations.
-func (h *Histogram) Sum() float64 { return h.sum.Load() }
-
-// Quantile returns an upper-bound estimate of the q-quantile (the
-// boundary of the bucket containing it; +Inf bucket reports the largest
-// finite bound). Good enough for logs and tests, not for billing.
-func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum uint64
-	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			break
-		}
-	}
-	if len(h.bounds) == 0 {
-		return 0
-	}
-	return h.bounds[len(h.bounds)-1]
-}
-
-// ---- Prometheus text rendering ----
-//
-// Each metric family is rendered once (# HELP / # TYPE header followed
-// by one sample per label set), per the text exposition format.
-
-func promHeader(w io.Writer, name, help, typ string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-}
+// modelLabels renders the service's label set.
+func modelLabels(s *Service) string { return fmt.Sprintf("model=%q", s.key) }
 
 // counterFam renders one counter family across all services.
 func counterFam(w io.Writer, name, help string, svcs []*Service, get func(*Service) uint64) {
 	promHeader(w, name, help, "counter")
 	for _, s := range svcs {
-		fmt.Fprintf(w, "%s{model=%q} %d\n", name, s.key, get(s))
+		obs.WriteCounterSample(w, name, modelLabels(s), get(s))
 	}
 }
 
@@ -126,7 +43,7 @@ func counterFam(w io.Writer, name, help string, svcs []*Service, get func(*Servi
 func gaugeFam(w io.Writer, name, help string, svcs []*Service, get func(*Service) int64) {
 	promHeader(w, name, help, "gauge")
 	for _, s := range svcs {
-		fmt.Fprintf(w, "%s{model=%q} %d\n", name, s.key, get(s))
+		obs.WriteGaugeSample(w, name, modelLabels(s), get(s))
 	}
 }
 
@@ -135,38 +52,55 @@ func gaugeFam(w io.Writer, name, help string, svcs []*Service, get func(*Service
 func histFam(w io.Writer, name, help string, svcs []*Service, get func(*Service) *Histogram) {
 	promHeader(w, name, help, "histogram")
 	for _, s := range svcs {
-		h := get(s)
-		var cum uint64
-		for i, b := range h.bounds {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "%s_bucket{model=%q,le=\"%g\"} %d\n", name, s.key, b, cum)
-		}
-		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(w, "%s_bucket{model=%q,le=\"+Inf\"} %d\n", name, s.key, cum)
-		fmt.Fprintf(w, "%s_sum{model=%q} %g\n", name, s.key, h.sum.Load())
-		fmt.Fprintf(w, "%s_count{model=%q} %d\n", name, s.key, h.count.Load())
+		get(s).WriteProm(w, name, modelLabels(s))
 	}
 }
 
-// serviceMetrics is the per-model metric set.
+// latencyBuckets is the shared bucket layout for the per-stage serving
+// latencies (1µs .. 1s, roughly logarithmic).
+func latencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+	}
+}
+
+// serviceMetrics is the per-model metric set: the queue/dispatch
+// counters plus one latency histogram per pipeline stage and the shared
+// decoder telemetry (obs.DecodeMetrics).
 type serviceMetrics struct {
-	requests      Counter
-	unsatisfied   Counter
-	batches       Counter
-	queueDepth    Gauge
-	batchSize     *Histogram
-	decodeSeconds *Histogram
+	requests    Counter
+	unsatisfied Counter
+	batches     Counter
+	queueDepth  Gauge
+	batchSize   *Histogram
+	// Per-stage latencies: admission to dispatch (queueWaitSeconds),
+	// first enqueue to batch flush (assembleSeconds), the decoder call
+	// (decodeSeconds), and the pool-boundary copy-out plus syndrome
+	// check (copyOutSeconds).
+	queueWaitSeconds *Histogram
+	assembleSeconds  *Histogram
+	decodeSeconds    *Histogram
+	copyOutSeconds   *Histogram
+	// dec aggregates decoder execution metadata (BP iterations,
+	// convergence, fallback engagement, …).
+	dec *obs.DecodeMetrics
 }
 
 func newServiceMetrics() *serviceMetrics {
 	return &serviceMetrics{
-		batchSize: NewHistogram(1, 2, 4, 8, 16, 32, 64),
-		decodeSeconds: NewHistogram(
-			1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
-			1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
-			1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1),
+		batchSize:        NewHistogram(1, 2, 4, 8, 16, 32, 64),
+		queueWaitSeconds: NewHistogram(latencyBuckets()...),
+		assembleSeconds:  NewHistogram(latencyBuckets()...),
+		decodeSeconds:    NewHistogram(latencyBuckets()...),
+		copyOutSeconds:   NewHistogram(latencyBuckets()...),
+		dec:              obs.NewDecodeMetrics(),
 	}
 }
+
+// DecodeMetrics exposes the service's decoder telemetry (tests, cmd).
+func (s *Service) DecodeMetrics() *obs.DecodeMetrics { return s.met.dec }
 
 // writeServiceFamilies renders every per-model metric family over the
 // given services.
@@ -181,8 +115,14 @@ func writeServiceFamilies(w io.Writer, svcs []*Service) {
 		func(s *Service) int64 { return s.met.queueDepth.Load() })
 	histFam(w, "vegapunk_serve_batch_size", "Syndromes per dispatched micro-batch.", svcs,
 		func(s *Service) *Histogram { return s.met.batchSize })
+	histFam(w, "vegapunk_serve_queue_wait_seconds", "Admission-to-dispatch wait per syndrome.", svcs,
+		func(s *Service) *Histogram { return s.met.queueWaitSeconds })
+	histFam(w, "vegapunk_serve_batch_assemble_seconds", "First-enqueue-to-flush assembly time per micro-batch.", svcs,
+		func(s *Service) *Histogram { return s.met.assembleSeconds })
 	histFam(w, "vegapunk_serve_decode_seconds", "Per-syndrome decode latency (decoder call only).", svcs,
 		func(s *Service) *Histogram { return s.met.decodeSeconds })
+	histFam(w, "vegapunk_serve_copy_out_seconds", "Pool-boundary copy-out and syndrome-check time per syndrome.", svcs,
+		func(s *Service) *Histogram { return s.met.copyOutSeconds })
 	counterFam(w, "vegapunk_serve_pool_hits_total", "Pool acquisitions served by an idle decoder.", svcs,
 		func(s *Service) uint64 { return s.pool.Hits() })
 	counterFam(w, "vegapunk_serve_pool_misses_total", "Pool acquisitions that constructed a decoder.", svcs,
@@ -191,4 +131,9 @@ func writeServiceFamilies(w io.Writer, svcs []*Service) {
 		func(s *Service) int64 { return int64(s.pool.Size()) })
 	gaugeFam(w, "vegapunk_serve_pool_created", "Decoder instances constructed.", svcs,
 		func(s *Service) int64 { return s.pool.Created() })
+	insts := make([]obs.LabelledDecodeMetrics, len(svcs))
+	for i, s := range svcs {
+		insts[i] = obs.LabelledDecodeMetrics{Labels: modelLabels(s), M: s.met.dec}
+	}
+	obs.WriteDecodeFamilies(w, insts)
 }

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vegapunk/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsGolden pins the full zero-traffic /metrics exposition: the
+// family set, HELP/TYPE text, bucket layouts and label rendering are
+// all part of the scrape contract (dashboards and the CI service smoke
+// grep these names). Run with -update after deliberate schema changes.
+func TestMetricsGolden(t *testing.T) {
+	model, factory := testModel(t)
+	srv := NewServer(Config{
+		MaxBatch: 8, MaxWait: 50 * time.Microsecond,
+		PoolSize: 2, Workers: 2, MaxInFlight: 4,
+		RequestTimeout: time.Second,
+	})
+	if _, err := srv.Register("golden/bp/p0.010", model, "BP(30)", factory); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, svc := range srv.snapshot() {
+			svc.Close()
+		}
+	}()
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	got := rec.Body.String()
+
+	// Naming audit: every series must carry HELP/TYPE and follow the
+	// _total/_seconds conventions (see obs.LintExposition).
+	if problems := obs.LintExposition(strings.NewReader(got)); len(problems) > 0 {
+		t.Errorf("exposition lint violations:\n  %s", strings.Join(problems, "\n  "))
+	}
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("zero-traffic /metrics drifted from testdata/metrics.golden "+
+			"(run with -update if the schema change is deliberate):\n%s", diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			b.WriteString("- " + wl + "\n+ " + gl + "\n")
+		}
+	}
+	return b.String()
+}

@@ -28,6 +28,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"vegapunk/internal/obs"
 )
 
 // Config shapes the serving subsystem. The zero value is usable;
@@ -53,6 +55,15 @@ type Config struct {
 	MaxInFlight int
 	// RequestTimeout is the per-request decode deadline (default 2s).
 	RequestTimeout time.Duration
+	// Tracer, when set, samples decode requests into per-goroutine span
+	// rings (GET /debug/decodetrace). Nil disables span recording.
+	Tracer *obs.Tracer
+	// SlowLog, when set, receives a structured JSON-lines event for
+	// every request slower end-to-end than SlowThreshold.
+	SlowLog *obs.SlowLog
+	// SlowThreshold is the slow-request latency bar (default 10ms; only
+	// meaningful with SlowLog set).
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Second
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 10 * time.Millisecond
 	}
 	return c
 }

@@ -11,6 +11,7 @@ import (
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // ErrClosed is returned by decode calls on a closed (drained) service.
@@ -35,6 +36,13 @@ type request struct {
 	satisfied   bool
 	state       atomic.Int32
 	done        chan struct{}
+
+	// Observability: the tracer-issued decode id, the admission tick,
+	// and the measured per-stage breakdown (filled by process, copied
+	// into Result at collect).
+	id                               uint64
+	enq                              int64
+	queueWaitNs, decodeNs, copyOutNs int64
 }
 
 // batch groups requests for one dispatch. Workers claim items by
@@ -60,6 +68,9 @@ type Result struct {
 	Satisfied bool
 	// Stats is the decoder's per-decode execution metadata.
 	Stats core.Stats
+	// Per-stage latency breakdown in nanoseconds: admission to
+	// dispatch, the decoder call, and the pool-boundary copy-out.
+	QueueWaitNs, DecodeNs, CopyOutNs int64
 }
 
 // Service serves decode requests for one registered model: a
@@ -74,6 +85,8 @@ type Service struct {
 	pool        *Pool
 	cfg         Config
 	met         *serviceMetrics
+	tracer      *obs.Tracer  // never nil; disabled stand-in when unset
+	slow        *obs.SlowLog // nil when slow logging is off
 
 	in   chan *request
 	work chan *batch
@@ -96,6 +109,13 @@ type Service struct {
 
 func newService(key string, model *dem.Model, decoderName string, factory core.Factory, cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	tracer := cfg.Tracer
+	if tracer == nil {
+		// A permanently disabled tracer keeps the hot path free of nil
+		// checks: ShouldSample is one atomic load returning false.
+		tracer = obs.NewTracer(obs.TracerConfig{})
+		tracer.SetEnabled(false)
+	}
 	s := &Service{
 		key:         key,
 		decoderName: decoderName,
@@ -105,6 +125,8 @@ func newService(key string, model *dem.Model, decoderName string, factory core.F
 		pool:        NewPool(factory, cfg.PoolSize),
 		cfg:         cfg,
 		met:         newServiceMetrics(),
+		tracer:      tracer,
+		slow:        cfg.SlowLog,
 		in:          make(chan *request, cfg.MaxBatch),
 		work:        make(chan *batch, cfg.Workers),
 		reqFree:     make(chan *request, 4*cfg.MaxBatch),
@@ -182,6 +204,8 @@ func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error
 	req := s.getReq() //vegapunk:allow(alloc) freelist miss constructs by design; steady state reuses
 	req.syndrome.CopyFrom(syndrome)
 	req.state.Store(reqPending)
+	req.id = s.tracer.NextID()
+	req.enq = obs.Tick()
 
 	s.mu.RLock()
 	if s.closed {
@@ -233,6 +257,9 @@ func (s *Service) collect(req *request, res *Result) {
 	gf2.CopyVec(&res.Observables, req.observables)
 	res.Satisfied = req.satisfied
 	res.Stats = req.stats
+	res.QueueWaitNs = req.queueWaitNs
+	res.DecodeNs = req.decodeNs
+	res.CopyOutNs = req.copyOutNs
 	s.putReq(req)
 }
 
@@ -263,12 +290,14 @@ func (s *Service) batcher() {
 	if !timer.Stop() {
 		<-timer.C
 	}
+	ring := s.tracer.Ring() //vegapunk:allow(alloc) one span ring per batcher goroutine lifetime
 	for {
 		req, ok := <-s.in
 		if !ok {
 			close(s.work)
 			return
 		}
+		t0 := obs.Tick()
 		b := s.getBatch()            //vegapunk:allow(alloc) freelist miss constructs by design; steady state reuses
 		b.reqs = append(b.reqs, req) //vegapunk:allow(alloc) append into MaxBatch capacity reserved at construction
 		timer.Reset(s.cfg.MaxWait)
@@ -303,6 +332,11 @@ func (s *Service) batcher() {
 			default:
 			}
 		}
+		now := obs.Tick()
+		s.met.assembleSeconds.Observe(obs.DurSeconds(now - t0))
+		if s.tracer.ShouldSample(req.id) {
+			ring.Record(obs.StageBatchAssemble, int32(len(b.reqs)), uint32(req.id), t0, now)
+		}
 		s.flush(b)
 	}
 }
@@ -332,6 +366,7 @@ func (s *Service) flush(b *batch) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	syn := gf2.NewVec(s.model.NumDet) //vegapunk:allow(alloc) worker-owned scratch, once per goroutine lifetime
+	ring := s.tracer.Ring()           //vegapunk:allow(alloc) one span ring per worker goroutine lifetime
 	for b := range s.work {
 		dec, err := s.pool.Acquire(context.Background())
 		if err != nil { // unreachable with Background, kept for safety
@@ -342,7 +377,7 @@ func (s *Service) worker() {
 			if i >= int64(len(b.reqs)) {
 				break
 			}
-			s.process(dec, b.reqs[i], syn)
+			s.process(dec, b.reqs[i], syn, ring)
 		}
 		s.pool.Release(dec)
 		s.load.Add(-1)
@@ -354,23 +389,63 @@ func (s *Service) worker() {
 
 // process runs one decode and copies everything the caller needs out of
 // the decoder-owned result before the decoder can be reused — the pool
-// boundary ownership rule.
+// boundary ownership rule. Stage boundaries are measured with the obs
+// package clock; on a sampled request the queue-wait, decode and
+// copy-out spans land in the worker's ring and the decoder's probe is
+// armed so its internal stages record under the same decode id.
 //
 //vegapunk:hotpath
-func (s *Service) process(dec core.Decoder, req *request, syn gf2.Vec) {
-	t0 := time.Now() //vegapunk:allow(time) the decode-latency metric is the point of this read
+func (s *Service) process(dec core.Decoder, req *request, syn gf2.Vec, ring *obs.Ring) {
+	t0 := obs.Tick()
+	req.queueWaitNs = t0 - req.enq
+	sampled := s.tracer.ShouldSample(req.id)
+	probe := obs.ProbeOf(dec)
+	if sampled {
+		ring.Record(obs.StageQueueWait, 0, uint32(req.id), req.enq, t0)
+		probe.Activate(ring, req.id)
+	}
 	est, stats := dec.Decode(req.syndrome)
-	s.met.decodeSeconds.Observe(time.Since(t0).Seconds()) //vegapunk:allow(time) the decode-latency metric is the point of this read
+	t1 := obs.Tick()
+	req.decodeNs = t1 - t0
 
 	gf2.CopyVec(&req.correction, est)
 	s.mech.MulVecInto(syn, est)
 	req.satisfied = syn.Equal(req.syndrome)
 	s.obs.MulVecInto(req.observables, est)
 	req.stats = stats
+	t2 := obs.Tick()
+	req.copyOutNs = t2 - t1
+	if sampled {
+		ring.Record(obs.StageDecode, int32(stats.BPIters), uint32(req.id), t0, t1)
+		ring.Record(obs.StageCopyOut, 0, uint32(req.id), t1, t2)
+		probe.Deactivate()
+	}
+
+	synWeight := req.syndrome.Weight()
+	s.met.queueWaitSeconds.Observe(obs.DurSeconds(req.queueWaitNs))
+	s.met.decodeSeconds.Observe(obs.DurSeconds(req.decodeNs))
+	s.met.copyOutSeconds.Observe(obs.DurSeconds(req.copyOutNs))
+	s.met.dec.Record(stats.BPIters, stats.BPConverged, stats.Fallback,
+		stats.Hier.OuterIters, stats.BPGDRounds, stats.LSDMaxCluster, synWeight)
 	if !req.satisfied {
 		s.met.unsatisfied.Add(1)
 	}
 	s.met.queueDepth.Add(-1)
+	if total := t2 - req.enq; s.slow != nil && total >= int64(s.cfg.SlowThreshold) {
+		s.slow.Offer(obs.SlowEvent{
+			ID:             req.id,
+			Model:          s.key,
+			Decoder:        s.decoderName,
+			SyndromeWeight: synWeight,
+			QueueWaitNs:    req.queueWaitNs,
+			DecodeNs:       req.decodeNs,
+			CopyOutNs:      req.copyOutNs,
+			TotalNs:        total,
+			BPIters:        stats.BPIters,
+			HierLevels:     stats.Hier.OuterIters,
+			Satisfied:      req.satisfied,
+		})
+	}
 
 	if req.state.CompareAndSwap(reqPending, reqCompleted) {
 		req.done <- struct{}{}

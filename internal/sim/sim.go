@@ -15,6 +15,7 @@ import (
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
 )
 
 // LERResult reports a memory experiment.
@@ -50,6 +51,12 @@ type MemoryConfig struct {
 	Workers int
 	// Seed drives the reproducible PCG randomness.
 	Seed uint64
+	// Metrics, when set, aggregates every decode's execution metadata
+	// (the same telemetry the serving stack exports at /metrics).
+	Metrics *obs.DecodeMetrics
+	// Tracer, when set, samples decodes into per-worker span rings for
+	// Chrome trace export. Neither knob changes decode results.
+	Tracer *obs.Tracer
 }
 
 // RunMemory executes a multi-round quantum memory experiment: each round
@@ -90,6 +97,11 @@ func RunMemory(model *dem.Model, factory core.Factory, cfg MemoryConfig) LERResu
 			defer wg.Done()
 			dec := factory()
 			rng := rand.New(rand.NewPCG(cfg.Seed, uint64(w)+1))
+			probe := obs.ProbeOf(dec)
+			var ring *obs.Ring
+			if cfg.Tracer != nil {
+				ring = cfg.Tracer.Ring()
+			}
 			local := tally{}
 			// Worker-local round scratch, reused across every shot.
 			mech := gf2.NewVec(model.NumMech())
@@ -113,7 +125,21 @@ func RunMemory(model *dem.Model, factory core.Factory, cfg MemoryConfig) LERResu
 					// before the next Decode on this worker's instance;
 					// it never escapes the goroutine, so no gf2.CopyVec
 					// is needed here.
+					sampled := false
+					if cfg.Tracer != nil {
+						if id := cfg.Tracer.NextID(); cfg.Tracer.ShouldSample(id) {
+							probe.Activate(ring, id)
+							sampled = true
+						}
+					}
 					est, stats := dec.Decode(syn)
+					if sampled {
+						probe.Deactivate()
+					}
+					if cfg.Metrics != nil {
+						cfg.Metrics.Record(stats.BPIters, stats.BPConverged, stats.Fallback,
+							stats.Hier.OuterIters, stats.BPGDRounds, stats.LSDMaxCluster, syn.Weight())
+					}
 					obsCSC.MulVecInto(obs, est)
 					predicted.Xor(obs)
 					local.sumBP += stats.BPIters
