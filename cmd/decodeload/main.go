@@ -11,6 +11,15 @@
 // Every sampled error is derived from (-seed, request index), so a
 // given flag set replays the identical workload regardless of
 // concurrency — future perf PRs can track the same benchmark.
+//
+// Failed requests are reported in separate terminal classes —
+// rejected_503 (saturation / circuit breaker), timeouts_504 (deadline
+// exceeded or budget shed), decoder_faults (5xx from a quarantined
+// decoder) and transport_errors (no daemon response at all). With
+// -chaos the run targets a `vegapunkd -chaos` daemon and succeeds as
+// long as every request reached a terminal outcome and at least one
+// decoded: rejections, sheds and faults are then the resilience
+// machinery working, not a failed run.
 package main
 
 import (
@@ -42,6 +51,9 @@ type decodeRequest struct {
 type decodeResult struct {
 	Observables string `json:"observables"`
 	Satisfied   bool   `json:"satisfied"`
+	// DegradedTier is set when the daemon decoded this syndrome below
+	// full quality under its degradation ladder.
+	DegradedTier string `json:"degraded_tier"`
 	// Server-side per-stage breakdown (nanoseconds), reported by the
 	// daemon per syndrome.
 	QueueWaitNs int64 `json:"queue_wait_ns"`
@@ -75,6 +87,7 @@ func run() int {
 	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
 	seed := fs.Uint64("seed", 1, "reproducible workload seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	chaosMode := fs.Bool("chaos", false, "resilience run against a -chaos daemon: individual request failures are expected; exit 0 iff every request reached a terminal outcome and at least one succeeded")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -124,7 +137,16 @@ func run() int {
 		latencies []time.Duration
 		failures  int
 		syndromes int
-		httpErrs  int
+		degraded  int // syndromes the daemon decoded below full tier
+		// Terminal failure classes. Every request lands in exactly one of
+		// ok (latencies), rejected503, timeout504, decoderFault5xx or
+		// transportErrs — the split tells a resilience run apart from an
+		// outage (a 503 storm is the breaker working; transport errors
+		// mean the daemon is gone).
+		rejected503     int // capacity saturated, breaker open, draining
+		timeout504      int // server-side deadline exceeded or budget shed
+		decoderFault5xx int // decoder fault surfaced as 5xx (quarantine path)
+		transportErrs   int // client timeout, connection or parse failure
 		// Server-reported per-stage sums (ns) across all syndromes.
 		queueWaitNs, decodeNs, copyOutNs int64
 		wg                               sync.WaitGroup
@@ -144,30 +166,42 @@ func run() int {
 				resp, err := client.Post(*addr+"/v1/decode", "application/json", bytes.NewReader(item.body))
 				lat := time.Since(start)
 				var out decodeResponse
+				status := 0
 				bad := false
 				if err != nil {
 					bad = true
 				} else {
+					status = resp.StatusCode
 					raw, rerr := io.ReadAll(resp.Body)
 					cerr := resp.Body.Close()
-					if rerr != nil || cerr != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(raw, &out) != nil {
+					if rerr != nil || cerr != nil || status != http.StatusOK || json.Unmarshal(raw, &out) != nil {
 						bad = true
 					}
 				}
 				mu.Lock()
-				if bad {
-					httpErrs++
-				} else {
+				switch {
+				case !bad:
 					latencies = append(latencies, lat)
 					for j, res := range out.Results {
 						syndromes++
 						queueWaitNs += res.QueueWaitNs
 						decodeNs += res.DecodeNs
 						copyOutNs += res.CopyOutNs
+						if res.DegradedTier != "" {
+							degraded++
+						}
 						if j < len(item.actual) && res.Observables != item.actual[j] {
 							failures++
 						}
 					}
+				case status == http.StatusServiceUnavailable:
+					rejected503++
+				case status == http.StatusGatewayTimeout:
+					timeout504++
+				case status >= 500:
+					decoderFault5xx++
+				default:
+					transportErrs++
 				}
 				mu.Unlock()
 			}
@@ -176,8 +210,10 @@ func run() int {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
+	httpErrs := rejected503 + timeout504 + decoderFault5xx + transportErrs
 	if len(latencies) == 0 {
-		logger.Printf("no successful requests (http_errors=%d); is vegapunkd up at %s with model %s?", httpErrs, *addr, key)
+		logger.Printf("no successful requests (rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d); is vegapunkd up at %s with model %s?",
+			rejected503, timeout504, decoderFault5xx, transportErrs, *addr, key)
 		return 1
 	}
 	// Nearest-rank percentiles over the full sorted sample set: the
@@ -210,11 +246,26 @@ func run() int {
 		key, *seed, *requests, *batchSize, *concurrency,
 		len(latencies), httpErrs, syndromes, elapsed.Round(time.Millisecond), qps, sps,
 		pct(0.50), pct(0.99), latencies[len(latencies)-1], failures, failRate)
+	// Failure-class breakdown: how the daemon's resilience machinery
+	// resolved the requests that did not decode at full quality.
+	fmt.Printf("decodeload: classes rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d degraded_syndromes=%d\n",
+		rejected503, timeout504, decoderFault5xx, transportErrs, degraded)
 	// Server-side stage breakdown (mean per syndrome): where the latency
 	// budget actually goes — waiting in the micro-batch queue, the
 	// decoder call, or the pool-boundary copy-out.
 	fmt.Printf("decodeload: stages queue_wait_mean=%s decode_mean=%s copy_out_mean=%s\n",
 		perSyn(queueWaitNs), perSyn(decodeNs), perSyn(copyOutNs))
+	if *chaosMode {
+		// Chaos contract: shed, rejected and faulted requests are the
+		// resilience machinery doing its job; the run only fails if the
+		// daemon itself became unreachable or nothing at all succeeded
+		// (len(latencies) == 0 already returned above).
+		if transportErrs > 0 {
+			logger.Printf("chaos run saw %d transport errors: requests without a terminal daemon response", transportErrs)
+			return 1
+		}
+		return 0
+	}
 	if httpErrs > 0 {
 		return 1
 	}

@@ -2,7 +2,8 @@
 // a from-scratch stdlib-only static analyzer (see internal/analysis):
 // allocation-free //vegapunk:hotpath functions, decode-result scratch
 // ownership at pool boundaries, lock-copy hygiene on serve types, and
-// unchecked errors in cmd/ binaries.
+// unchecked errors in cmd/ binaries and the serving layers
+// (internal/serve, internal/faultinject).
 //
 //	go run ./cmd/vegacheck ./...
 //

@@ -18,6 +18,15 @@
 // every request slower than -slow-threshold is appended to the given
 // file as one JSON line.
 //
+// With -chaos every registered decoder factory is wrapped in a
+// deterministic fault injector (internal/faultinject) seeded by
+// -chaos-seed: a small fraction of decodes run slow, panic, return
+// wrong-length results, stall past the watchdog, or skew their trace
+// clock. This exercises the resilience machinery — worker quarantine,
+// hang watchdog, circuit breaker, deadline shedding and the
+// degradation ladder — against a live daemon; injected fault totals
+// are logged at shutdown.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, queues
 // flush, then the process exits 0.
 package main
@@ -37,6 +46,7 @@ import (
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
 	"vegapunk/internal/exp"
+	"vegapunk/internal/faultinject"
 	"vegapunk/internal/hier"
 	"vegapunk/internal/obs"
 	"vegapunk/internal/serve"
@@ -62,6 +72,12 @@ func run() int {
 	traceSample := fs.Uint64("trace-sample", 8, "trace one in N decodes into the span rings (0 disables tracing)")
 	slowLogPath := fs.String("slow-log", "", "append slow-request JSON lines to this file ('-' for stderr)")
 	slowThreshold := fs.Duration("slow-threshold", 10*time.Millisecond, "end-to-end latency above which a request is logged as slow")
+	hangTimeout := fs.Duration("hang-timeout", time.Second, "decode watchdog: quarantine a decoder instance that has not returned after this long")
+	maxDegradeTier := fs.Int("max-degrade-tier", 0, "degradation ladder ceiling (0 = full ladder, negative disables degradation)")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive decoder faults that trip the circuit breaker (negative disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "how long a tripped breaker fast-fails before probing again")
+	chaos := fs.Bool("chaos", false, "wrap every decoder in a deterministic fault injector (testing only)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault injector base seed (with -chaos)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -107,15 +123,37 @@ func run() int {
 	}
 
 	srv := serve.NewServer(serve.Config{
-		MaxBatch:       *batch,
-		MaxWait:        *wait,
-		PoolSize:       *pool,
-		MaxInFlight:    *inflight,
-		RequestTimeout: *timeout,
-		Tracer:         tracer,
-		SlowLog:        slowLog,
-		SlowThreshold:  *slowThreshold,
+		MaxBatch:         *batch,
+		MaxWait:          *wait,
+		PoolSize:         *pool,
+		MaxInFlight:      *inflight,
+		RequestTimeout:   *timeout,
+		Tracer:           tracer,
+		SlowLog:          slowLog,
+		SlowThreshold:    *slowThreshold,
+		HangTimeout:      *hangTimeout,
+		MaxDegradeTier:   *maxDegradeTier,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
+	// Low but lively default mix: mostly-healthy traffic with every fault
+	// kind represented, so a chaos run exercises shedding, quarantine,
+	// the watchdog and the breaker without drowning the service.
+	chaosPlan := faultinject.Plan{
+		Seed:      *chaosSeed,
+		PSlow:     0.02,
+		PPanic:    0.005,
+		PWrongLen: 0.005,
+		PStall:    0.002,
+		PSkew:     0.01,
+		SlowFor:   2 * time.Millisecond,
+		StallFor:  3 * time.Second,
+	}
+	type chaosModel struct {
+		key      string
+		counters *faultinject.Counters
+	}
+	var chaosModels []chaosModel
 	for _, name := range strings.Split(*decoders, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -126,14 +164,30 @@ func run() int {
 			logger.Printf("%v", err)
 			return 1
 		}
-		display := factory().Name()
 		key := serve.ModelKey(b.Name, name, *p)
+		if *chaos {
+			var counters *faultinject.Counters
+			factory, counters = faultinject.Wrap(factory, chaosPlan)
+			chaosModels = append(chaosModels, chaosModel{key: key, counters: counters})
+		}
+		display := factory().Name()
 		if _, err := srv.Register(key, model, display, factory); err != nil {
 			logger.Printf("register %s: %v", key, err)
 			return 1
 		}
 		logger.Printf("registered model=%s decoder=%s detectors=%d mechanisms=%d",
 			key, display, model.NumDet, model.NumMech())
+	}
+	if *chaos {
+		logger.Printf("CHAOS MODE: fault injection enabled (seed=%d); do not use in production", *chaosSeed)
+		defer func() {
+			for _, cm := range chaosModels {
+				c := cm.counters
+				logger.Printf("chaos totals model=%s decodes=%d injected=%d slow=%d panics=%d wronglen=%d stalls=%d skews=%d",
+					cm.key, c.Decodes.Load(), c.Injected(), c.Slow.Load(), c.Panics.Load(),
+					c.WrongLen.Load(), c.Stalls.Load(), c.Skews.Load())
+			}
+		}()
 	}
 
 	if *debugAddr != "" {

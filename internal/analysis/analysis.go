@@ -12,7 +12,9 @@
 //     copied out via gf2.CopyVec or Clone.
 //   - lock-copy: values of internal/serve types containing sync or
 //     sync/atomic state must not be copied.
-//   - err-unchecked: commands under cmd/ must not drop error returns.
+//   - err-unchecked: commands under cmd/ and the serving and
+//     fault-injection layers (internal/serve, internal/faultinject)
+//     must not drop error returns.
 //
 // See internal/README.md ("The vegacheck annotation language") for the
 // annotation grammar and worked examples.

@@ -135,13 +135,24 @@ func containsLockState(t types.Type, seen map[types.Type]bool) bool {
 	return false
 }
 
-// checkErrUnchecked flags dropped error returns in cmd/ packages:
-// expression, defer and go statements whose call returns an error that
-// nobody reads. Calls into package fmt are excluded (the Fprint family
-// returns errors nobody checks when writing to stdout/stderr).
+// errUncheckedScope reports whether a package directory is swept for
+// dropped error returns: every cmd/ binary, plus the serving and
+// fault-injection layers — a dropped error there silently weakens the
+// failure accounting the resilience machinery depends on.
+func errUncheckedScope(rel string) bool {
+	if rel == "cmd" || strings.HasPrefix(rel, "cmd/") {
+		return true
+	}
+	return rel == "internal/serve" || rel == "internal/faultinject"
+}
+
+// checkErrUnchecked flags dropped error returns in the packages named
+// by errUncheckedScope: expression, defer and go statements whose call
+// returns an error that nobody reads. Calls into packages fmt and
+// strings are excluded (see uncheckedCall).
 func (c *checker) checkErrUnchecked() {
 	for _, pkg := range c.mod.Pkgs {
-		if pkg.RelDir != "cmd" && !strings.HasPrefix(pkg.RelDir, "cmd/") {
+		if !errUncheckedScope(pkg.RelDir) {
 			continue
 		}
 		for _, f := range pkg.Files {
@@ -178,7 +189,10 @@ func (c *checker) uncheckedCall(pkg *Package, call *ast.CallExpr, kind string) {
 	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
 		return
 	}
-	if path, _ := c.calleePkgPath(pkg, call); path == "fmt" {
+	if path, _ := c.calleePkgPath(pkg, call); path == "fmt" || path == "strings" {
+		// fmt: the Fprint family's errors go unchecked when writing to
+		// stdout/stderr. strings: (*Builder).Write* are documented to
+		// always return a nil error.
 		return
 	}
 	c.report(call.Pos(), RuleErrUnchecked, "%scall drops its error result", kind)

@@ -1,0 +1,27 @@
+// Package faultinject seeds err-unchecked violations outside cmd/: the
+// sweep also covers internal/faultinject and internal/serve, where a
+// dropped error corrupts the failure accounting the resilience
+// machinery reports.
+package faultinject
+
+import (
+	"errors"
+	"strings"
+)
+
+func inject() error { return errors.New("boom") }
+
+func drain() error { return nil }
+
+// Trip exercises every statement form the rule knows about.
+func Trip() {
+	inject()      // want(err-unchecked)
+	defer drain() // want(err-unchecked)
+	go inject()   // want(err-unchecked)
+	_ = inject()  // clean: explicitly discarded
+	var sb strings.Builder
+	sb.WriteByte('x') // clean: strings.Builder never returns an error
+	if err := inject(); err != nil {
+		_ = err
+	}
+}

@@ -112,6 +112,22 @@ func (d *Decoder) Clone() *Decoder {
 // Probe exposes the decoder's span-recording handle (obs.Probed).
 func (d *Decoder) Probe() *obs.Probe { return d.probe }
 
+// MaxIters reports the current iteration cap.
+func (d *Decoder) MaxIters() int { return d.cfg.MaxIters }
+
+// SetMaxIters retunes the iteration cap at runtime (min 1). No buffer
+// depends on the cap, so this is safe between Decode calls — the
+// degradation ladder uses it to trade accuracy for latency under
+// overload.
+//
+//vegapunk:hotpath
+func (d *Decoder) SetMaxIters(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.cfg.MaxIters = n
+}
+
 // Result reports a BP decode.
 type Result struct {
 	// Error is the hard-decision error estimate (valid iff Converged).

@@ -63,14 +63,88 @@ type Decoder interface {
 // goroutine).
 type Factory func() Decoder
 
+// Tier is a degradation level: how much accuracy a decoder may trade
+// for latency when the serving layer is under deadline or queue
+// pressure. TierFull is the constructed configuration; higher tiers
+// are strictly cheaper and strictly less accurate.
+type Tier uint8
+
+// Degradation tiers, cheapest last.
+const (
+	// TierFull decodes with the constructed configuration.
+	TierFull Tier = iota
+	// TierDegraded halves the iteration budgets (BP iterations, BPGD
+	// rounds, hierarchical outer rounds) but keeps OSD/LSD fallback.
+	TierDegraded
+	// TierMinimal quarters the iteration budgets and skips OSD/LSD
+	// fallback entirely: bounded worst-case latency, BP-only accuracy.
+	TierMinimal
+)
+
+// MaxTier is the cheapest tier any decoder supports.
+const MaxTier = TierMinimal
+
+// String names the tier for metrics and logs.
+func (t Tier) String() string {
+	switch t {
+	case TierFull:
+		return "full"
+	case TierDegraded:
+		return "degraded"
+	case TierMinimal:
+		return "minimal"
+	}
+	return "invalid"
+}
+
+// DegradableDecoder is implemented by decoders that support the tier
+// ladder. SetTier reconfigures subsequent Decode calls and returns the
+// tier actually applied (requests above MaxTier clamp); it must be
+// cheap and allocation-free — the serving worker calls it before every
+// decode. Like Decode, it is not safe for concurrent use on one
+// instance.
+type DegradableDecoder interface {
+	Decoder
+	SetTier(t Tier) Tier
+}
+
+// clampTier normalizes an out-of-range tier request.
+//
+//vegapunk:hotpath
+func clampTier(t Tier) Tier {
+	if t > MaxTier {
+		return MaxTier
+	}
+	return t
+}
+
+// tierIters scales an iteration budget for a tier: full, half, quarter
+// (never below 1).
+//
+//vegapunk:hotpath
+func tierIters(full int, t Tier) int {
+	n := full
+	switch t {
+	case TierDegraded:
+		n = full / 2
+	case TierMinimal:
+		n = full / 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // ---- Vegapunk ----
 
 // Vegapunk is the paper's decoder: offline decoupling + online
 // hierarchical decoding.
 type Vegapunk struct {
-	name   string
-	dec    *decouple.Decoupling
-	online *hier.Decoder
+	name      string
+	dec       *decouple.Decoupling
+	online    *hier.Decoder
+	fullOuter int // constructed outer-round cap (TierFull)
 }
 
 // BuildVegapunk runs the offline stage on the model's check matrix and
@@ -92,10 +166,12 @@ func BuildVegapunk(model *dem.Model, dopts decouple.Options, cfg hier.Config) (*
 // decoupling artifact — the deployment flow: decouple offline, load
 // online.
 func NewVegapunkFrom(model *dem.Model, dec *decouple.Decoupling, cfg hier.Config) *Vegapunk {
+	online := hier.New(dec, model.LLRs(), cfg)
 	return &Vegapunk{
-		name:   "Vegapunk",
-		dec:    dec,
-		online: hier.New(dec, model.LLRs(), cfg),
+		name:      "Vegapunk",
+		dec:       dec,
+		online:    online,
+		fullOuter: online.MaxIters(),
 	}
 }
 
@@ -111,6 +187,28 @@ func (v *Vegapunk) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	return e, Stats{Hier: tr}
 }
 
+// SetTier implements DegradableDecoder: outer rounds step down from
+// the constructed cap (paper default 3) to full-1 and then 1. The
+// hierarchical base solve always runs, so even TierMinimal explains
+// the diagonal blocks.
+//
+//vegapunk:hotpath
+func (v *Vegapunk) SetTier(t Tier) Tier {
+	t = clampTier(t)
+	n := v.fullOuter
+	switch t {
+	case TierDegraded:
+		n = v.fullOuter - 1
+	case TierMinimal:
+		n = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	v.online.SetMaxIters(n)
+	return t
+}
+
 // Decoupling exposes the offline artifact (for the accelerator model and
 // Table 2/3 reporting).
 func (v *Vegapunk) Decoupling() *decouple.Decoupling { return v.dec }
@@ -120,6 +218,7 @@ func (v *Vegapunk) Decoupling() *decouple.Decoupling { return v.dec }
 type bpDecoder struct {
 	name string
 	d    *bp.Decoder
+	full int // constructed iteration cap (TierFull)
 }
 
 // NewBP wraps plain belief propagation (min-sum), the paper's FPGA
@@ -129,15 +228,23 @@ func NewBP(model *dem.Model, maxIters int) Decoder {
 	if maxIters > 0 {
 		name = fmt.Sprintf("BP(%d)", maxIters)
 	}
-	return &bpDecoder{
-		name: name,
-		d:    bp.New(model.Mech, model.LLRs(), bp.Config{MaxIters: maxIters}),
-	}
+	d := bp.New(model.Mech, model.LLRs(), bp.Config{MaxIters: maxIters})
+	return &bpDecoder{name: name, d: d, full: d.MaxIters()}
 }
 
 func (b *bpDecoder) Name() string { return b.name }
 
 func (b *bpDecoder) Probe() *obs.Probe { return b.d.Probe() }
+
+// SetTier implements DegradableDecoder: the iteration cap scales
+// full/half/quarter.
+//
+//vegapunk:hotpath
+func (b *bpDecoder) SetTier(t Tier) Tier {
+	t = clampTier(t)
+	b.d.SetMaxIters(tierIters(b.full, t))
+	return t
+}
 
 func (b *bpDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)
@@ -149,6 +256,7 @@ func (b *bpDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 type bposdDecoder struct {
 	name string
 	d    *osd.BPOSD
+	full int // constructed BP iteration cap (TierFull)
 }
 
 // NewBPOSD wraps BP+OSD-CS(t), the accuracy baseline. order ≤ 0 uses the
@@ -157,17 +265,30 @@ func NewBPOSD(model *dem.Model, bpIters, order int) Decoder {
 	if order <= 0 {
 		order = 7
 	}
+	d := osd.NewBPOSD(model.Mech, model.LLRs(),
+		bp.Config{MaxIters: bpIters},
+		osd.Config{Method: osd.CombinationSweep, Order: order})
 	return &bposdDecoder{
 		name: fmt.Sprintf("BP+OSD-CS(%d)", order),
-		d: osd.NewBPOSD(model.Mech, model.LLRs(),
-			bp.Config{MaxIters: bpIters},
-			osd.Config{Method: osd.CombinationSweep, Order: order}),
+		d:    d,
+		full: d.BPMaxIters(),
 	}
 }
 
 func (b *bposdDecoder) Name() string { return b.name }
 
 func (b *bposdDecoder) Probe() *obs.Probe { return b.d.Probe() }
+
+// SetTier implements DegradableDecoder: BP iterations scale
+// full/half/quarter and TierMinimal additionally skips the OSD stage.
+//
+//vegapunk:hotpath
+func (b *bposdDecoder) SetTier(t Tier) Tier {
+	t = clampTier(t)
+	b.d.SetBPMaxIters(tierIters(b.full, t))
+	b.d.SetFallback(t != TierMinimal)
+	return t
+}
 
 func (b *bposdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)
@@ -177,18 +298,31 @@ func (b *bposdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 // ---- BP+LSD ----
 
 type lsdDecoder struct {
-	d *lsd.Decoder
+	d    *lsd.Decoder
+	full int // constructed BP iteration cap (TierFull)
 }
 
 // NewBPLSD wraps BP+LSD (30 BP iterations, order 0), per the paper's
 // baseline configuration.
 func NewBPLSD(model *dem.Model) Decoder {
-	return &lsdDecoder{d: lsd.New(model.Mech, model.LLRs(), bp.Config{MaxIters: 30})}
+	d := lsd.New(model.Mech, model.LLRs(), bp.Config{MaxIters: 30})
+	return &lsdDecoder{d: d, full: d.BPMaxIters()}
 }
 
 func (l *lsdDecoder) Name() string { return "BP+LSD" }
 
 func (l *lsdDecoder) Probe() *obs.Probe { return l.d.Probe() }
+
+// SetTier implements DegradableDecoder: BP iterations scale
+// full/half/quarter and TierMinimal additionally skips cluster solving.
+//
+//vegapunk:hotpath
+func (l *lsdDecoder) SetTier(t Tier) Tier {
+	t = clampTier(t)
+	l.d.SetBPMaxIters(tierIters(l.full, t))
+	l.d.SetFallback(t != TierMinimal)
+	return t
+}
 
 func (l *lsdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := l.d.Decode(s)
@@ -198,18 +332,30 @@ func (l *lsdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 // ---- BPGD ----
 
 type bpgdDecoder struct {
-	d *bpgd.Decoder
+	d    *bpgd.Decoder
+	full int // constructed round cap (TierFull)
 }
 
 // NewBPGD wraps BP guided decimation (100 BP iterations per round, up to
 // n rounds), per the paper's baseline configuration.
 func NewBPGD(model *dem.Model) Decoder {
-	return &bpgdDecoder{d: bpgd.New(model.Mech, model.LLRs(), bpgd.Config{})}
+	d := bpgd.New(model.Mech, model.LLRs(), bpgd.Config{})
+	return &bpgdDecoder{d: d, full: d.MaxRounds()}
 }
 
 func (b *bpgdDecoder) Name() string { return "BPGD" }
 
 func (b *bpgdDecoder) Probe() *obs.Probe { return b.d.Probe() }
+
+// SetTier implements DegradableDecoder: the decimation-round cap
+// scales full/half/quarter.
+//
+//vegapunk:hotpath
+func (b *bpgdDecoder) SetTier(t Tier) Tier {
+	t = clampTier(t)
+	b.d.SetMaxRounds(tierIters(b.full, t))
+	return t
+}
 
 func (b *bpgdDecoder) Decode(s gf2.Vec) (gf2.Vec, Stats) {
 	r := b.d.Decode(s)

@@ -120,3 +120,84 @@ func TestBPStatsIterations(t *testing.T) {
 		t.Errorf("zero syndrome: iters=%d converged=%v", stats.BPIters, stats.BPConverged)
 	}
 }
+
+func TestAllDecodersDegradable(t *testing.T) {
+	model := bb72Model(t)
+	veg, err := BuildVegapunk(model, decouple.Options{Seed: 1}, hier.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoders := []Decoder{
+		veg,
+		NewBP(model, 72),
+		NewBPOSD(model, 72, 7),
+		NewBPLSD(model),
+		NewBPGD(model),
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	e := model.Sample(rng)
+	s := model.Syndrome(e)
+	for _, d := range decoders {
+		dd, ok := d.(DegradableDecoder)
+		if !ok {
+			t.Fatalf("%s does not implement DegradableDecoder", d.Name())
+		}
+		for tier := TierFull; tier <= MaxTier; tier++ {
+			if got := dd.SetTier(tier); got != tier {
+				t.Errorf("%s: SetTier(%v) = %v", d.Name(), tier, got)
+			}
+			est, _ := dd.Decode(s)
+			if est.Len() != model.NumMech() {
+				t.Errorf("%s@%v: estimate length %d != %d", d.Name(), tier, est.Len(), model.NumMech())
+			}
+		}
+		// Out-of-range requests clamp to the cheapest tier.
+		if got := dd.SetTier(MaxTier + 1); got != MaxTier {
+			t.Errorf("%s: SetTier(MaxTier+1) = %v, want %v", d.Name(), got, MaxTier)
+		}
+		// Stepping back to TierFull restores the constructed config.
+		if got := dd.SetTier(TierFull); got != TierFull {
+			t.Errorf("%s: SetTier(TierFull) = %v", d.Name(), got)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	cases := map[Tier]string{
+		TierFull: "full", TierDegraded: "degraded", TierMinimal: "minimal", MaxTier + 1: "invalid",
+	}
+	for tier, want := range cases {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", tier, got, want)
+		}
+	}
+}
+
+func TestTierItersScaling(t *testing.T) {
+	if got := tierIters(30, TierFull); got != 30 {
+		t.Errorf("full: %d", got)
+	}
+	if got := tierIters(30, TierDegraded); got != 15 {
+		t.Errorf("degraded: %d", got)
+	}
+	if got := tierIters(30, TierMinimal); got != 7 {
+		t.Errorf("minimal: %d", got)
+	}
+	if got := tierIters(2, TierMinimal); got != 1 {
+		t.Errorf("minimal floor: %d", got)
+	}
+}
+
+func TestBPTierRestoresFullIters(t *testing.T) {
+	model := bb72Model(t)
+	d := NewBP(model, 40).(DegradableDecoder)
+	s := gf2.NewVec(model.NumDet)
+	d.SetTier(TierMinimal)
+	if _, stats := d.Decode(s); !stats.BPConverged {
+		t.Fatal("zero syndrome should converge at any tier")
+	}
+	d.SetTier(TierFull)
+	if _, stats := d.Decode(s); stats.BPIters != 1 || !stats.BPConverged {
+		t.Errorf("after restore: iters=%d converged=%v", stats.BPIters, stats.BPConverged)
+	}
+}

@@ -205,6 +205,12 @@ type Probe struct {
 	id     uint32
 	active bool
 	noop   bool // the shared disabled probe; Activate is ignored
+	// skew offsets every clock read while the probe is active. It
+	// models a skewed time source (fault injection): span edges shift
+	// and can even run backwards relative to spans recorded by an
+	// unskewed goroutine, which the renderers must tolerate. Zero in
+	// production.
+	skew int64
 }
 
 // NewProbe returns an inactive probe (decoder construction time).
@@ -260,6 +266,17 @@ func (p *Probe) Deactivate() {
 //vegapunk:hotpath
 func (p *Probe) Active() bool { return p.active }
 
+// SetSkew offsets the probe's clock reads by ns (fault injection:
+// "clock skew on the probe"). Call only while holding the probe's
+// decoder exclusively — same ownership rule as Activate. No-op on the
+// shared disabled probe.
+func (p *Probe) SetSkew(ns int64) {
+	if p.noop {
+		return
+	}
+	p.skew = ns
+}
+
 // Tick returns the clock if the probe is active and 0 otherwise. Hot
 // loops open their first span edge with this so an untraced decode
 // never reads the clock.
@@ -269,7 +286,7 @@ func (p *Probe) Tick() int64 {
 	if !p.active {
 		return 0
 	}
-	return Tick()
+	return Tick() + p.skew
 }
 
 // SpanSince records [start, now] for stage st and returns now, so
@@ -281,7 +298,7 @@ func (p *Probe) SpanSince(st Stage, arg int, start int64) int64 {
 	if !p.active {
 		return 0
 	}
-	now := Tick()
+	now := Tick() + p.skew
 	p.ring.Record(st, int32(arg), p.id, start, now)
 	return now
 }

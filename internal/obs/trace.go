@@ -46,12 +46,18 @@ func (t *Tracer) WriteTrace(w io.Writer, maxSpans int) error {
 	var events []traceEvent
 	for tid, spans := range perRing {
 		for _, s := range spans {
+			// A skewed probe (fault injection) can record End < Start;
+			// Chrome's viewer rejects negative durations, so clamp.
+			dur := s.End - s.Start
+			if dur < 0 {
+				dur = 0
+			}
 			events = append(events, traceEvent{
 				Name: s.Stage.Name(),
 				Cat:  "decode",
 				Ph:   "X",
 				TS:   float64(s.Start) / 1e3,
-				Dur:  float64(s.End-s.Start) / 1e3,
+				Dur:  float64(dur) / 1e3,
 				PID:  1,
 				TID:  tid,
 				Args: traceArgs{ID: s.ID, Arg: s.Arg},

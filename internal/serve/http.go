@@ -100,7 +100,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+		_, _ = io.WriteString(w, "ok\n") // best-effort: the client is gone if this fails
 	})
 	if s.cfg.Tracer != nil {
 		mux.Handle("/debug/decodetrace", obs.TraceHandler(s.cfg.Tracer))
@@ -166,6 +166,9 @@ type decodeResult struct {
 	QueueWaitNs int64 `json:"queue_wait_ns"`
 	DecodeNs    int64 `json:"decode_ns"`
 	CopyOutNs   int64 `json:"copy_out_ns"`
+	// DegradedTier names the degradation tier the decode ran at
+	// ("degraded", "minimal"); omitted for a full-fidelity decode.
+	DegradedTier string `json:"degraded_tier,omitempty"`
 }
 
 type decodeResponse struct {
@@ -192,7 +195,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)}) // best-effort: the client is gone if this fails
 }
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
@@ -262,9 +265,16 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.writeError(w, http.StatusGatewayTimeout, "decode deadline exceeded")
+		case errors.Is(err, ErrDeadlineBudget):
+			s.writeError(w, http.StatusGatewayTimeout, "request shed: deadline budget below p99 decode latency")
+		case errors.Is(err, ErrCircuitOpen):
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "circuit breaker open after repeated decoder faults, retry later")
 		case errors.Is(err, ErrClosed):
 			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusServiceUnavailable, "service draining")
+		case errors.Is(err, ErrDecoderFault):
+			s.writeError(w, http.StatusInternalServerError, "decoder fault; instance quarantined, retry may succeed")
 		default:
 			s.writeError(w, http.StatusInternalServerError, "%v", err)
 		}
@@ -284,9 +294,12 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 			DecodeNs:          res.DecodeNs,
 			CopyOutNs:         res.CopyOutNs,
 		}
+		if res.Tier > core.TierFull {
+			resp.Results[i].DegradedTier = res.Tier.String()
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	_ = json.NewEncoder(w).Encode(resp) // best-effort: the client is gone if this fails
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -308,7 +321,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
+	_ = json.NewEncoder(w).Encode(struct { // best-effort: the client is gone if this fails
 		Models []modelInfo `json:"models"`
 	}{out})
 }

@@ -86,6 +86,13 @@ type serviceMetrics struct {
 	// dec aggregates decoder execution metadata (BP iterations,
 	// convergence, fallback engagement, …).
 	dec *obs.DecodeMetrics
+	// Resilience counters: requests shed on deadline budget, requests
+	// decoded at a degraded tier, and decoder quarantine causes.
+	shed              Counter
+	degraded          Counter
+	decoderPanics     Counter
+	decoderHangs      Counter
+	decoderBadResults Counter
 }
 
 func newServiceMetrics() *serviceMetrics {
@@ -123,10 +130,35 @@ func writeServiceFamilies(w io.Writer, svcs []*Service) {
 		func(s *Service) *Histogram { return s.met.decodeSeconds })
 	histFam(w, "vegapunk_serve_copy_out_seconds", "Pool-boundary copy-out and syndrome-check time per syndrome.", svcs,
 		func(s *Service) *Histogram { return s.met.copyOutSeconds })
+	counterFam(w, "vegapunk_serve_shed_total", "Requests shed because the deadline budget could not cover p99 decode latency.", svcs,
+		func(s *Service) uint64 { return s.met.shed.Load() })
+	counterFam(w, "vegapunk_serve_degraded_total", "Requests decoded at a degraded tier.", svcs,
+		func(s *Service) uint64 { return s.met.degraded.Load() })
+	gaugeFam(w, "vegapunk_serve_degradation_tier", "Active degradation tier (0 full, 1 degraded, 2 minimal).", svcs,
+		func(s *Service) int64 { return int64(s.Tier()) })
+	counterFam(w, "vegapunk_serve_decoder_panics_total", "Decoder instances quarantined after a panic.", svcs,
+		func(s *Service) uint64 { return s.met.decoderPanics.Load() })
+	counterFam(w, "vegapunk_serve_decoder_hangs_total", "Decoder instances quarantined after a hung decode.", svcs,
+		func(s *Service) uint64 { return s.met.decoderHangs.Load() })
+	counterFam(w, "vegapunk_serve_decoder_bad_results_total", "Decoder instances quarantined after a wrong-length result.", svcs,
+		func(s *Service) uint64 { return s.met.decoderBadResults.Load() })
+	gaugeFam(w, "vegapunk_serve_breaker_open", "Whether the decoder-fault circuit breaker is open (1) or closed (0).", svcs,
+		func(s *Service) int64 {
+			if s.breaker.open(obs.Tick()) {
+				return 1
+			}
+			return 0
+		})
+	counterFam(w, "vegapunk_serve_breaker_trips_total", "Circuit breaker trips after repeated decoder quarantines.", svcs,
+		func(s *Service) uint64 { return s.breaker.trips.Load() })
+	counterFam(w, "vegapunk_serve_breaker_rejected_total", "Submissions fast-failed while the circuit breaker was open.", svcs,
+		func(s *Service) uint64 { return s.breaker.rejected.Load() })
 	counterFam(w, "vegapunk_serve_pool_hits_total", "Pool acquisitions served by an idle decoder.", svcs,
 		func(s *Service) uint64 { return s.pool.Hits() })
 	counterFam(w, "vegapunk_serve_pool_misses_total", "Pool acquisitions that constructed a decoder.", svcs,
 		func(s *Service) uint64 { return s.pool.Misses() })
+	counterFam(w, "vegapunk_serve_pool_poisoned_total", "Decoder instances removed from the pool after a fault.", svcs,
+		func(s *Service) uint64 { return s.pool.Poisoned() })
 	gaugeFam(w, "vegapunk_serve_pool_size", "Decoder instance bound.", svcs,
 		func(s *Service) int64 { return int64(s.pool.Size()) })
 	gaugeFam(w, "vegapunk_serve_pool_created", "Decoder instances constructed.", svcs,

@@ -28,6 +28,11 @@ type Pool struct {
 	hits    atomic.Uint64
 	misses  atomic.Uint64
 	created atomic.Int64
+	// outstanding counts acquired-but-not-returned instances; it guards
+	// against Release/Poison without a matching Acquire (including a
+	// double Release of the same instance when nothing else is out).
+	outstanding atomic.Int64
+	poisoned    atomic.Uint64
 }
 
 // NewPool builds a pool bounded at size instances (size ≤ 0 uses
@@ -57,16 +62,19 @@ func (p *Pool) Acquire(ctx context.Context) (core.Decoder, error) {
 	select {
 	case d := <-p.idle:
 		p.hits.Add(1)
+		p.outstanding.Add(1)
 		return d, nil
 	default:
 	}
 	select {
 	case d := <-p.idle:
 		p.hits.Add(1)
+		p.outstanding.Add(1)
 		return d, nil
 	case <-p.permits:
 		p.misses.Add(1)
 		p.created.Add(1)
+		p.outstanding.Add(1)
 		return p.factory(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -74,17 +82,45 @@ func (p *Pool) Acquire(ctx context.Context) (core.Decoder, error) {
 }
 
 // Release returns an acquired decoder to the pool. The caller must not
-// touch the instance — or any vector it returned — afterwards.
+// touch the instance — or any vector it returned — afterwards. Releasing
+// nil or releasing more instances than are outstanding panics: both are
+// caller bugs that would otherwise corrupt the exclusivity invariant.
 //
 //vegapunk:hotpath
 func (p *Pool) Release(d core.Decoder) {
+	if d == nil {
+		panic("serve: Pool.Release of nil decoder")
+	}
+	if p.outstanding.Add(-1) < 0 {
+		panic("serve: Pool.Release without matching Acquire")
+	}
 	select {
 	case p.idle <- d:
 	default:
 		// idle has capacity size and at most size instances exist, so
-		// this is only reachable by releasing a decoder that was never
-		// acquired.
+		// this is only reachable by double-releasing one instance while
+		// the rest of the pool is idle.
 		panic("serve: Pool.Release without matching Acquire")
+	}
+}
+
+// Poison removes an acquired instance from circulation — after a panic,
+// a hung decode, or a defective result — and returns its permit so a
+// replacement can be constructed lazily. The instance itself is simply
+// dropped (a hung decoder may still be running; it becomes garbage when
+// its goroutine returns).
+func (p *Pool) Poison(d core.Decoder) {
+	if d == nil {
+		panic("serve: Pool.Poison of nil decoder")
+	}
+	if p.outstanding.Add(-1) < 0 {
+		panic("serve: Pool.Poison without matching Acquire")
+	}
+	p.poisoned.Add(1)
+	select {
+	case p.permits <- struct{}{}:
+	default:
+		panic("serve: Pool.Poison without matching Acquire")
 	}
 }
 
@@ -99,3 +135,9 @@ func (p *Pool) Hits() uint64 { return p.hits.Load() }
 
 // Misses counts acquisitions that lazily constructed an instance.
 func (p *Pool) Misses() uint64 { return p.misses.Load() }
+
+// Poisoned counts instances removed from circulation by Poison.
+func (p *Pool) Poisoned() uint64 { return p.poisoned.Load() }
+
+// Outstanding is the number of currently acquired instances.
+func (p *Pool) Outstanding() int64 { return p.outstanding.Load() }

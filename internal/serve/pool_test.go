@@ -97,3 +97,69 @@ func TestPoolAcquireHonorsContext(t *testing.T) {
 		t.Fatalf("acquire after release: %v", err)
 	}
 }
+
+// mustPanic asserts f panics (release-discipline bugs must fail loudly,
+// not corrupt the pool's exclusivity invariant).
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestPoolReleaseGuards(t *testing.T) {
+	factory := func() core.Decoder { return &countingDecoder{out: gf2.NewVec(8)} }
+
+	t.Run("nil release", func(t *testing.T) {
+		p := NewPool(factory, 2)
+		mustPanic(t, "Release(nil)", func() { p.Release(nil) })
+	})
+	t.Run("double release", func(t *testing.T) {
+		p := NewPool(factory, 2)
+		d, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(d)
+		mustPanic(t, "second Release", func() { p.Release(d) })
+	})
+	t.Run("release without acquire", func(t *testing.T) {
+		p := NewPool(factory, 2)
+		mustPanic(t, "unacquired Release", func() { p.Release(factory()) })
+	})
+	t.Run("poison guards", func(t *testing.T) {
+		p := NewPool(factory, 2)
+		mustPanic(t, "Poison(nil)", func() { p.Poison(nil) })
+		mustPanic(t, "unacquired Poison", func() { p.Poison(factory()) })
+	})
+}
+
+func TestPoolPoisonReplaces(t *testing.T) {
+	p := NewPool(func() core.Decoder { return &countingDecoder{out: gf2.NewVec(8)} }, 1)
+	d, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", p.Outstanding())
+	}
+	p.Poison(d)
+	if p.Outstanding() != 0 || p.Poisoned() != 1 {
+		t.Fatalf("outstanding=%d poisoned=%d, want 0/1", p.Outstanding(), p.Poisoned())
+	}
+	// The permit funds a lazily constructed replacement even at bound 1.
+	d2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == d {
+		t.Fatal("poisoned instance returned to circulation")
+	}
+	if p.Created() != 2 {
+		t.Fatalf("created = %d, want 2", p.Created())
+	}
+	p.Release(d2)
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"time"
+
+	"vegapunk/internal/core"
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/obs"
+)
+
+// runner isolates the decoder call from its worker so a panicking or
+// hung decoder cannot take the worker down with it. Each worker owns
+// one runner; decodes are handed over on in and results come back on
+// out. On a hang the worker abandons the runner (close(in), new
+// runner): the hung goroutine's pending send lands in the buffered out
+// channel nobody reads, the closed in channel ends its loop when the
+// decode finally returns, and nothing leaks.
+//
+// The runner owns its syndrome buffer (syn): the worker copies the
+// request syndrome in before each send, so a decode that outlives its
+// request — the hang case, where the request is failed and recycled
+// while the decoder still runs — never touches recycled request memory.
+// It likewise owns its span ring: the worker keeps writing its own ring
+// after abandoning a hung runner, so the two goroutines must never
+// share one single-writer ring.
+type runner struct {
+	in   chan runnerJob
+	out  chan runnerOutcome
+	syn  gf2.Vec
+	ring *obs.Ring
+}
+
+// runnerJob hands one decode (and the decoder to run it on) to a
+// runner. The syndrome travels out of band in runner.syn.
+type runnerJob struct {
+	dec     core.Decoder
+	tier    core.Tier
+	sampled bool
+	id      uint64
+}
+
+// runnerOutcome reports one decode back to the worker. est aliases
+// decoder-owned storage; the worker must copy it out before releasing
+// the decoder (the usual pool-boundary rule).
+type runnerOutcome struct {
+	est      gf2.Vec
+	stats    core.Stats
+	tier     core.Tier // tier actually applied by the decoder
+	panicked bool
+	panicVal any
+}
+
+// newRunner builds and starts a runner for this service's model.
+func (s *Service) newRunner() *runner {
+	r := &runner{
+		in:   make(chan runnerJob),
+		out:  make(chan runnerOutcome, 1),
+		syn:  gf2.NewVec(s.model.NumDet),
+		ring: s.tracer.Ring(),
+	}
+	go r.run() //vegapunk:allow(alloc) one goroutine per runner lifetime, not per decode
+	return r
+}
+
+// run is the runner goroutine: decode jobs until in closes. The send
+// to out never blocks — out has capacity 1 and the worker sends at
+// most one job before reading (or abandoning) the outcome.
+//
+//vegapunk:hotpath
+func (r *runner) run() {
+	for job := range r.in {
+		var o runnerOutcome
+		r.guardedDecode(job, &o)
+		r.out <- o
+	}
+}
+
+// guardedDecode applies the degradation tier, arms the probe on a
+// sampled decode and runs the decoder with panic isolation: a
+// panicking decoder marks the outcome instead of crashing the process.
+//
+//vegapunk:hotpath
+func (r *runner) guardedDecode(job runnerJob, o *runnerOutcome) {
+	defer o.catch()
+	o.tier = core.TierFull
+	if dd, ok := job.dec.(core.DegradableDecoder); ok {
+		o.tier = dd.SetTier(job.tier)
+	}
+	probe := obs.ProbeOf(job.dec)
+	if job.sampled {
+		probe.Activate(r.ring, job.id)
+	}
+	est, stats := job.dec.Decode(r.syn)
+	probe.Deactivate()
+	o.est = est //vegapunk:allow(scratch) ownership travels back to the worker with the outcome; the decoder stays held until the worker copies out
+	o.stats = stats
+}
+
+// catch records a recovered decoder panic (deferred from guardedDecode).
+func (o *runnerOutcome) catch() {
+	if v := recover(); v != nil {
+		o.panicked = true
+		o.panicVal = v
+	}
+}
+
+// workerState bundles a worker goroutine's long-lived resources: the
+// currently held decoder, the decode runner, the syndrome-check
+// scratch, the span ring and the watchdog timer.
+type workerState struct {
+	dec   core.Decoder
+	r     *runner
+	syn   gf2.Vec
+	ring  *obs.Ring
+	timer *time.Timer
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"vegapunk/internal/core"
 	"vegapunk/internal/obs"
 )
 
@@ -55,6 +56,31 @@ type Config struct {
 	MaxInFlight int
 	// RequestTimeout is the per-request decode deadline (default 2s).
 	RequestTimeout time.Duration
+	// HangTimeout is how long a worker waits on a single decoder call
+	// before declaring the decoder hung, quarantining it and failing
+	// the request with ErrDecoderFault (default 1s).
+	HangTimeout time.Duration
+	// MaxDegradeTier bounds the degradation ladder: how far the service
+	// may step down from core.TierFull under pressure. 0 allows the
+	// full ladder (core.MaxTier); a negative value disables degradation
+	// entirely.
+	MaxDegradeTier int
+	// DegradeQueueHigh is the queue depth that counts as pressure for
+	// the degradation ladder (default 4*MaxBatch). Any shed request
+	// also counts as pressure regardless of depth.
+	DegradeQueueHigh int
+	// DegradeHold is the minimum time after a tier change before the
+	// ladder steps back toward full (default 100ms) — hysteresis
+	// against flapping.
+	DegradeHold time.Duration
+	// BreakerThreshold is the number of consecutive decoder
+	// quarantines (panics, hangs, defective results) that trips the
+	// circuit breaker (default 3; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fast-fails
+	// submissions with ErrCircuitOpen before letting a half-open probe
+	// request through (default 2s).
+	BreakerCooldown time.Duration
 	// Tracer, when set, samples decode requests into per-goroutine span
 	// rings (GET /debug/decodetrace). Nil disables span recording.
 	Tracer *obs.Tracer
@@ -85,10 +111,38 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Second
 	}
+	if c.HangTimeout <= 0 {
+		c.HangTimeout = time.Second
+	}
+	if c.DegradeQueueHigh <= 0 {
+		c.DegradeQueueHigh = 4 * c.MaxBatch
+	}
+	if c.DegradeHold <= 0 {
+		c.DegradeHold = 100 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	if c.SlowThreshold <= 0 {
 		c.SlowThreshold = 10 * time.Millisecond
 	}
 	return c
+}
+
+// maxDegradeTier translates the MaxDegradeTier knob into a core.Tier
+// bound for the ladder.
+func (c Config) maxDegradeTier() core.Tier {
+	switch {
+	case c.MaxDegradeTier < 0:
+		return core.TierFull
+	case c.MaxDegradeTier == 0 || c.MaxDegradeTier > int(core.MaxTier):
+		return core.MaxTier
+	default:
+		return core.Tier(c.MaxDegradeTier)
+	}
 }
 
 // ModelKey derives the canonical registry key for a (code, decoder,

@@ -17,6 +17,21 @@ import (
 // ErrClosed is returned by decode calls on a closed (drained) service.
 var ErrClosed = errors.New("serve: service closed")
 
+// ErrDeadlineBudget is returned for a request shed because its
+// remaining deadline budget could not cover the observed p99 decode
+// latency — failing fast beats decoding a result nobody can use.
+var ErrDeadlineBudget = errors.New("serve: deadline budget exhausted before decode")
+
+// ErrDecoderFault is returned when the decoder serving a request
+// panicked, hung past Config.HangTimeout, or produced a wrong-length
+// result. The faulty instance is quarantined; retrying is reasonable.
+var ErrDecoderFault = errors.New("serve: decoder fault")
+
+// ErrCircuitOpen is returned while the circuit breaker is open after
+// repeated decoder faults; submissions fast-fail until the cooldown
+// passes.
+var ErrCircuitOpen = errors.New("serve: circuit breaker open")
+
 // request state machine: a waiter and a worker race on completion.
 const (
 	reqPending   int32 = iota // worker will complete, waiter is waiting
@@ -36,6 +51,13 @@ type request struct {
 	satisfied   bool
 	state       atomic.Int32
 	done        chan struct{}
+
+	// Resilience: the caller's deadline as an obs tick (0 = none), the
+	// degradation tier the decode ran at, and the terminal error for
+	// requests that never produced a result (shed, decoder fault).
+	deadline int64
+	tier     core.Tier
+	err      error
 
 	// Observability: the tracer-issued decode id, the admission tick,
 	// and the measured per-stage breakdown (filled by process, copied
@@ -71,6 +93,9 @@ type Result struct {
 	// Per-stage latency breakdown in nanoseconds: admission to
 	// dispatch, the decoder call, and the pool-boundary copy-out.
 	QueueWaitNs, DecodeNs, CopyOutNs int64
+	// Tier is the degradation tier the decode actually ran at
+	// (core.TierFull unless the service was under pressure).
+	Tier core.Tier
 }
 
 // Service serves decode requests for one registered model: a
@@ -94,6 +119,16 @@ type Service struct {
 	// (holders in flight); load == Workers means saturation, the only
 	// regime where the batcher waits to grow a batch.
 	load atomic.Int64
+
+	// Resilience: the degradation ladder, the decoder-fault circuit
+	// breaker, and the cached p99 decode latency used for deadline
+	// shedding (refreshed from the decode histogram every
+	// p99RefreshEvery successful decodes; 0 until the first refresh,
+	// which disables shedding during warmup).
+	ladder      ladder
+	breaker     *breaker
+	p99DecodeNs atomic.Int64
+	decodes     atomic.Uint64
 
 	// Freelists are bounded channels rather than sync.Pools so the
 	// steady state stays allocation-free even across GC cycles.
@@ -131,7 +166,11 @@ func newService(key string, model *dem.Model, decoderName string, factory core.F
 		work:        make(chan *batch, cfg.Workers),
 		reqFree:     make(chan *request, 4*cfg.MaxBatch),
 		batchFree:   make(chan *batch, cfg.Workers+1),
+		breaker:     newBreaker(cfg.BreakerThreshold, int64(cfg.BreakerCooldown)),
 	}
+	s.ladder.maxTier = cfg.maxDegradeTier()
+	s.ladder.queueHigh = int64(cfg.DegradeQueueHigh)
+	s.ladder.hold = int64(cfg.DegradeHold)
 	s.wg.Add(1 + cfg.Workers)
 	go s.batcher()
 	for i := 0; i < cfg.Workers; i++ {
@@ -151,6 +190,9 @@ func (s *Service) Model() *dem.Model { return s.model }
 
 // Pool exposes the decoder pool (metrics, tests).
 func (s *Service) Pool() *Pool { return s.pool }
+
+// Tier reports the degradation tier new decodes currently run at.
+func (s *Service) Tier() core.Tier { return s.ladder.active() }
 
 // DecodeInto decodes one syndrome, blocking until the result is ready
 // or ctx is done. res is overwritten; reusing the same Result keeps the
@@ -206,6 +248,16 @@ func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error
 	req.state.Store(reqPending)
 	req.id = s.tracer.NextID()
 	req.enq = obs.Tick()
+	req.err = nil
+	req.tier = core.TierFull
+	req.deadline = 0
+	if dl, ok := ctx.Deadline(); ok {
+		req.deadline = obs.TickAt(dl)
+	}
+	if !s.breaker.allow(req.enq) {
+		s.putReq(req)
+		return nil, ErrCircuitOpen
+	}
 
 	s.mu.RLock()
 	if s.closed {
@@ -234,8 +286,7 @@ func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error
 func (s *Service) wait(ctx context.Context, req *request, res *Result) error {
 	select {
 	case <-req.done:
-		s.collect(req, res)
-		return nil
+		return s.collect(req, res)
 	case <-ctx.Done():
 		if req.state.CompareAndSwap(reqPending, reqAbandoned) {
 			return ctx.Err()
@@ -243,16 +294,21 @@ func (s *Service) wait(ctx context.Context, req *request, res *Result) error {
 		// The worker completed concurrently; its done signal is
 		// buffered and must be drained before recycling.
 		<-req.done
-		s.collect(req, res)
-		return nil
+		return s.collect(req, res)
 	}
 }
 
 // collect copies the finished request's result into the caller's Result
-// at the pool boundary and recycles the request.
+// at the pool boundary and recycles the request. A request that ended
+// in a terminal error (shed, decoder fault) carries no result: the
+// error is returned and res is left untouched.
 //
 //vegapunk:hotpath
-func (s *Service) collect(req *request, res *Result) {
+func (s *Service) collect(req *request, res *Result) error {
+	if err := req.err; err != nil {
+		s.putReq(req)
+		return err
+	}
 	gf2.CopyVec(&res.Correction, req.correction)
 	gf2.CopyVec(&res.Observables, req.observables)
 	res.Satisfied = req.satisfied
@@ -260,7 +316,9 @@ func (s *Service) collect(req *request, res *Result) {
 	res.QueueWaitNs = req.queueWaitNs
 	res.DecodeNs = req.decodeNs
 	res.CopyOutNs = req.copyOutNs
+	res.Tier = req.tier
 	s.putReq(req)
+	return nil
 }
 
 // Close drains the service: pending requests are flushed and completed,
@@ -338,6 +396,7 @@ func (s *Service) batcher() {
 			ring.Record(obs.StageBatchAssemble, int32(len(b.reqs)), uint32(req.id), t0, now)
 		}
 		s.flush(b)
+		s.ladder.evaluate(now, s.met.queueDepth.Load(), s.met.shed.Load())
 	}
 }
 
@@ -361,76 +420,159 @@ func (s *Service) flush(b *batch) {
 // worker is a long-lived dispatch goroutine: per batch it acquires a
 // decoder from the pool, claims items until the batch is drained, and
 // releases the decoder. The last worker off a batch recycles it.
+// Decoding itself runs in the worker's runner goroutine so a decoder
+// fault (panic, hang) is isolated from the dispatch machinery.
 //
 //vegapunk:hotpath
 func (s *Service) worker() {
 	defer s.wg.Done()
-	syn := gf2.NewVec(s.model.NumDet) //vegapunk:allow(alloc) worker-owned scratch, once per goroutine lifetime
-	ring := s.tracer.Ring()           //vegapunk:allow(alloc) one span ring per worker goroutine lifetime
+	w := workerState{
+		syn:   gf2.NewVec(s.model.NumDet), //vegapunk:allow(alloc) worker-owned scratch, once per goroutine lifetime
+		ring:  s.tracer.Ring(),            //vegapunk:allow(alloc) one span ring per worker goroutine lifetime
+		timer: time.NewTimer(time.Hour),   //vegapunk:allow(alloc) one watchdog timer per worker lifetime
+	}
+	if !w.timer.Stop() {
+		<-w.timer.C
+	}
+	w.r = s.newRunner() //vegapunk:allow(alloc) one decode runner per worker lifetime; replaced only on quarantine
 	for b := range s.work {
 		dec, err := s.pool.Acquire(context.Background())
 		if err != nil { // unreachable with Background, kept for safety
 			panic(err)
 		}
+		w.dec = dec
 		for {
 			i := b.next.Add(1) - 1
 			if i >= int64(len(b.reqs)) {
 				break
 			}
-			s.process(dec, b.reqs[i], syn, ring)
+			s.process(&w, b.reqs[i])
 		}
-		s.pool.Release(dec)
+		s.pool.Release(w.dec)
 		s.load.Add(-1)
 		if b.holders.Add(-1) == 0 {
 			s.putBatch(b)
 		}
 	}
+	close(w.r.in)
 }
 
-// process runs one decode and copies everything the caller needs out of
-// the decoder-owned result before the decoder can be reused — the pool
-// boundary ownership rule. Stage boundaries are measured with the obs
-// package clock; on a sampled request the queue-wait, decode and
-// copy-out spans land in the worker's ring and the decoder's probe is
-// armed so its internal stages record under the same decode id.
+// quarantine handles a decoder fault mid-batch: record the failure
+// with the circuit breaker, poison the faulty instance (its permit
+// funds a lazily constructed replacement), replace the runner when the
+// old one is pinned by a hung decode, and acquire a fresh decoder for
+// the rest of the batch.
+func (s *Service) quarantine(w *workerState, hung bool) {
+	s.breaker.recordFailure(obs.Tick())
+	s.pool.Poison(w.dec)
+	if hung {
+		// The old runner is stuck inside Decode; closing in ends its
+		// loop once the decode returns, and its buffered out absorbs
+		// the orphaned outcome. Nothing leaks, nothing blocks.
+		close(w.r.in)
+		w.r = s.newRunner() //vegapunk:allow(alloc) replacement runner after a hung decode; fault path, not steady state
+	}
+	dec, err := s.pool.Acquire(context.Background())
+	if err != nil { // unreachable with Background, kept for safety
+		panic(err)
+	}
+	w.dec = dec
+}
+
+// p99RefreshEvery is how many successful decodes pass between refreshes
+// of the cached p99 decode latency (the deadline-shedding estimate).
+const p99RefreshEvery = 64
+
+// process runs one decode through the worker's runner and copies
+// everything the caller needs out of the decoder-owned result before
+// the decoder can be reused — the pool boundary ownership rule. Before
+// dispatch it sheds requests whose remaining deadline budget cannot
+// cover the observed p99 decode latency; around the runner it runs the
+// hang watchdog; after the runner it quarantines decoders that
+// panicked or returned a defective result. Stage boundaries are
+// measured with the obs package clock; on a sampled request the
+// queue-wait, decode and copy-out spans land in the worker's ring and
+// the decoder's probe records its internal stages into the runner's
+// ring under the same decode id.
 //
 //vegapunk:hotpath
-func (s *Service) process(dec core.Decoder, req *request, syn gf2.Vec, ring *obs.Ring) {
+func (s *Service) process(w *workerState, req *request) {
 	t0 := obs.Tick()
 	req.queueWaitNs = t0 - req.enq
-	sampled := s.tracer.ShouldSample(req.id)
-	probe := obs.ProbeOf(dec)
-	if sampled {
-		ring.Record(obs.StageQueueWait, 0, uint32(req.id), req.enq, t0)
-		probe.Activate(ring, req.id)
+	s.met.queueWaitSeconds.Observe(obs.DurSeconds(req.queueWaitNs))
+	if req.deadline != 0 {
+		if p99 := s.p99DecodeNs.Load(); p99 > 0 && t0+p99 > req.deadline {
+			s.met.shed.Add(1)
+			s.finish(req, ErrDeadlineBudget)
+			return
+		}
 	}
-	est, stats := dec.Decode(req.syndrome)
+	sampled := s.tracer.ShouldSample(req.id)
+	if sampled {
+		w.ring.Record(obs.StageQueueWait, 0, uint32(req.id), req.enq, t0)
+	}
+
+	w.r.syn.CopyFrom(req.syndrome)
+	w.r.in <- runnerJob{dec: w.dec, tier: s.ladder.active(), sampled: sampled, id: req.id}
+	w.timer.Reset(s.cfg.HangTimeout)
+	var o runnerOutcome
+	select {
+	case o = <-w.r.out:
+		if !w.timer.Stop() {
+			select {
+			case <-w.timer.C:
+			default:
+			}
+		}
+	case <-w.timer.C:
+		s.met.decoderHangs.Add(1)
+		s.quarantine(w, true)
+		s.finish(req, ErrDecoderFault)
+		return
+	}
 	t1 := obs.Tick()
 	req.decodeNs = t1 - t0
+	if o.panicked {
+		s.met.decoderPanics.Add(1)
+		s.quarantine(w, false)
+		s.finish(req, ErrDecoderFault)
+		return
+	}
+	if o.est.Len() != s.model.NumMech() {
+		s.met.decoderBadResults.Add(1)
+		s.quarantine(w, false)
+		s.finish(req, ErrDecoderFault)
+		return
+	}
+	s.breaker.recordSuccess()
+	req.tier = o.tier
+	if o.tier > core.TierFull {
+		s.met.degraded.Add(1)
+	}
 
-	gf2.CopyVec(&req.correction, est)
-	s.mech.MulVecInto(syn, est)
-	req.satisfied = syn.Equal(req.syndrome)
-	s.obs.MulVecInto(req.observables, est)
-	req.stats = stats
+	gf2.CopyVec(&req.correction, o.est)
+	s.mech.MulVecInto(w.syn, o.est)
+	req.satisfied = w.syn.Equal(req.syndrome)
+	s.obs.MulVecInto(req.observables, o.est)
+	req.stats = o.stats
 	t2 := obs.Tick()
 	req.copyOutNs = t2 - t1
 	if sampled {
-		ring.Record(obs.StageDecode, int32(stats.BPIters), uint32(req.id), t0, t1)
-		ring.Record(obs.StageCopyOut, 0, uint32(req.id), t1, t2)
-		probe.Deactivate()
+		w.ring.Record(obs.StageDecode, int32(o.stats.BPIters), uint32(req.id), t0, t1)
+		w.ring.Record(obs.StageCopyOut, 0, uint32(req.id), t1, t2)
 	}
 
 	synWeight := req.syndrome.Weight()
-	s.met.queueWaitSeconds.Observe(obs.DurSeconds(req.queueWaitNs))
 	s.met.decodeSeconds.Observe(obs.DurSeconds(req.decodeNs))
 	s.met.copyOutSeconds.Observe(obs.DurSeconds(req.copyOutNs))
-	s.met.dec.Record(stats.BPIters, stats.BPConverged, stats.Fallback,
-		stats.Hier.OuterIters, stats.BPGDRounds, stats.LSDMaxCluster, synWeight)
+	s.met.dec.Record(o.stats.BPIters, o.stats.BPConverged, o.stats.Fallback,
+		o.stats.Hier.OuterIters, o.stats.BPGDRounds, o.stats.LSDMaxCluster, synWeight)
 	if !req.satisfied {
 		s.met.unsatisfied.Add(1)
 	}
-	s.met.queueDepth.Add(-1)
+	if n := s.decodes.Add(1); n%p99RefreshEvery == 0 {
+		s.p99DecodeNs.Store(int64(s.met.decodeSeconds.Quantile(0.99) * 1e9))
+	}
 	if total := t2 - req.enq; s.slow != nil && total >= int64(s.cfg.SlowThreshold) {
 		s.slow.Offer(obs.SlowEvent{
 			ID:             req.id,
@@ -441,12 +583,23 @@ func (s *Service) process(dec core.Decoder, req *request, syn gf2.Vec, ring *obs
 			DecodeNs:       req.decodeNs,
 			CopyOutNs:      req.copyOutNs,
 			TotalNs:        total,
-			BPIters:        stats.BPIters,
-			HierLevels:     stats.Hier.OuterIters,
+			BPIters:        o.stats.BPIters,
+			HierLevels:     o.stats.Hier.OuterIters,
 			Satisfied:      req.satisfied,
 		})
 	}
+	s.finish(req, nil)
+}
 
+// finish completes a request with its terminal outcome: exactly one of
+// the waiter wake-up (normal path) or the recycle (the waiter already
+// abandoned the request) happens, so every admitted request has
+// exactly one terminal owner.
+//
+//vegapunk:hotpath
+func (s *Service) finish(req *request, err error) {
+	req.err = err
+	s.met.queueDepth.Add(-1)
 	if req.state.CompareAndSwap(reqPending, reqCompleted) {
 		req.done <- struct{}{}
 	} else {
