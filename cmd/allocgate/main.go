@@ -31,9 +31,12 @@ var defaultPins = []struct {
 	pkgs  []string
 }{
 	{"BenchmarkBPDecode$", []string{"./internal/bp"}},
+	{"BenchmarkBPDecodeBatch64$", []string{"./internal/bp"}},
 	{"BenchmarkHierDecode$", []string{"./internal/hier"}},
+	{"BenchmarkHierDecodeBatch64$", []string{"./internal/hier"}},
 	{"BenchmarkOSDDecode$", []string{"./internal/osd"}},
 	{"BenchmarkServiceDecode$", []string{"./internal/serve"}},
+	{"BenchmarkServiceDecodeBatch64$", []string{"./internal/serve"}},
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+(?:\.\d+)?) allocs/op`)

@@ -1,0 +1,344 @@
+// Command benchjson records one point of the repo's performance
+// trajectory (ROADMAP item 5): it runs the pinned hot-path benchmark
+// set under `go test -bench`, drives an in-process serving load for
+// QPS and latency percentiles, and writes the result as a BENCH_<n>.json
+// artifact meant to be checked in with the PR that produced it.
+//
+//	go run ./cmd/benchjson -issue 6            # writes BENCH_6.json
+//	go run ./cmd/benchjson -compare            # newest two artifacts, fail on regression
+//
+// With -compare it instead loads the two newest BENCH_*.json artifacts
+// (by issue number) and exits 1 if any shared pinned benchmark got more
+// than -tolerance slower (ns/op), gained allocations, or the serving
+// load lost more than -tolerance QPS. With fewer than two artifacts it
+// exits 0 silently — the first PR of the trajectory has nothing to
+// compare against.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"vegapunk/internal/code"
+	"vegapunk/internal/core"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/serve"
+)
+
+// pins is the benchmark set the artifact records: the per-family decode
+// kernels, their batched counterparts, and the serving hot path with
+// its serial-dispatch ablation.
+var pins = []struct {
+	bench string
+	pkg   string
+}{
+	{"BenchmarkBPDecode$", "./internal/bp"},
+	{"BenchmarkBPDecodeBatch64$", "./internal/bp"},
+	{"BenchmarkHierDecode$", "./internal/hier"},
+	{"BenchmarkHierDecodeBatch64$", "./internal/hier"},
+	{"BenchmarkOSDDecode$", "./internal/osd"},
+	{"BenchmarkServiceDecode$", "./internal/serve"},
+	{"BenchmarkServiceDecodeBatch64$", "./internal/serve"},
+	{"BenchmarkServiceDecodeBatch64Serial$", "./internal/serve"},
+}
+
+// benchResult is one pinned benchmark measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// serveLoad summarizes the in-process serving run.
+type serveLoad struct {
+	Model    string  `json:"model"`
+	Decoder  string  `json:"decoder"`
+	Requests int     `json:"requests"`
+	Batch    int     `json:"batch"`
+	Clients  int     `json:"clients"`
+	QPS      float64 `json:"qps"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+}
+
+// artifact is the BENCH_<n>.json schema.
+type artifact struct {
+	Issue      int           `json:"issue"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	ServeLoad  serveLoad     `json:"serve_load"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	issue := fs.Int("issue", 6, "issue number the artifact belongs to (BENCH_<n>.json)")
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json artifacts")
+	compare := fs.Bool("compare", false, "compare the two newest artifacts instead of measuring")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional regression before -compare fails")
+	benchtime := fs.String("benchtime", "1s", "go test -benchtime for the pinned set")
+	requests := fs.Int("requests", 4096, "serving-load request count")
+	batch := fs.Int("batch", 64, "serving-load client batch size")
+	clients := fs.Int("clients", 4, "serving-load concurrent clients")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *compare {
+		return runCompare(*dir, *tolerance)
+	}
+	return runMeasure(*dir, *issue, *benchtime, *requests, *batch, *clients)
+}
+
+func runMeasure(dir string, issue int, benchtime string, requests, batch, clients int) int {
+	art := artifact{
+		Issue:     issue,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, p := range pins {
+		fmt.Fprintf(os.Stderr, "bench %s %s\n", p.pkg, p.bench)
+		res, err := runBench(p.pkg, p.bench, benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s: %v\n", p.pkg, p.bench, err)
+			return 2
+		}
+		art.Benchmarks = append(art.Benchmarks, res)
+	}
+	fmt.Fprintf(os.Stderr, "serve load: %d requests, batch %d, %d clients\n", requests, batch, clients)
+	load, err := runServeLoad(requests, batch, clients)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: serve load: %v\n", err)
+		return 2
+	}
+	art.ServeLoad = load
+
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", issue))
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %.0f QPS)\n", path, len(art.Benchmarks), load.QPS)
+	return 0
+}
+
+// runBench executes one pinned benchmark and parses its ns/op and
+// allocs/op from the -benchmem output.
+func runBench(pkg, bench, benchtime string) (benchResult, error) {
+	cmd := exec.Command("go", "test", pkg, "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, "-count", "1")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return benchResult{}, fmt.Errorf("go test: %w", err)
+	}
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		allocs, _ := strconv.ParseFloat(m[3], 64)
+		return benchResult{Name: m[1], Pkg: pkg, NsPerOp: ns, AllocsPerOp: allocs}, nil
+	}
+	return benchResult{}, fmt.Errorf("no benchmark line in output (renamed benchmark?)")
+}
+
+// runServeLoad drives the standard serving model (BB [[72,12,6]],
+// code-capacity p=0.01, BP) in process: clients submit fixed-size
+// batches through Service.DecodeBatchInto and the summary reports
+// end-to-end QPS plus per-request server-side latency percentiles.
+func runServeLoad(requests, batchSize, clients int) (serveLoad, error) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		return serveLoad{}, err
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	factory := func() core.Decoder { return core.NewBP(model, 30) }
+	srv := serve.NewServer(serve.Config{MaxBatch: batchSize})
+	key := serve.ModelKey(c.Name, "BP", 0.01)
+	svc, err := srv.Register(key, model, "BP(30)", factory)
+	if err != nil {
+		return serveLoad{}, err
+	}
+	defer svc.Close()
+
+	syndromes := sampleSyndromes(model, requests)
+	perBatch := batchSize
+	nBatches := (requests + perBatch - 1) / perBatch
+	latencies := make([]int64, requests)
+	ctx := context.Background()
+
+	// Warm the pools so the measured run is steady state.
+	warm := make([]serve.Result, perBatch)
+	if err := svc.DecodeBatchInto(ctx, warm, syndromes[:perBatch]); err != nil {
+		return serveLoad{}, err
+	}
+
+	start := time.Now()
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		go func(cl int) {
+			res := make([]serve.Result, perBatch)
+			for b := cl; b < nBatches; b += clients {
+				lo := b * perBatch
+				hi := lo + perBatch
+				if hi > requests {
+					hi = requests
+				}
+				if err := svc.DecodeBatchInto(ctx, res[:hi-lo], syndromes[lo:hi]); err != nil {
+					errs <- err
+					return
+				}
+				for i := lo; i < hi; i++ {
+					r := &res[i-lo]
+					latencies[i] = r.QueueWaitNs + r.DecodeNs + r.CopyOutNs
+				}
+			}
+			errs <- nil
+		}(cl)
+	}
+	for cl := 0; cl < clients; cl++ {
+		if err := <-errs; err != nil {
+			return serveLoad{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return serveLoad{
+		Model:    key,
+		Decoder:  "BP(30)",
+		Requests: requests,
+		Batch:    batchSize,
+		Clients:  clients,
+		QPS:      float64(requests) / elapsed.Seconds(),
+		P50Ns:    latencies[len(latencies)/2],
+		P99Ns:    latencies[len(latencies)*99/100],
+	}, nil
+}
+
+// sampleSyndromes draws n reproducible syndromes from the model.
+func sampleSyndromes(model *dem.Model, n int) []gf2.Vec {
+	rng := rand.New(rand.NewPCG(42, 7))
+	out := make([]gf2.Vec, n)
+	e := gf2.NewVec(model.NumMech())
+	for i := range out {
+		model.SampleInto(e, rng)
+		out[i] = model.Syndrome(e)
+	}
+	return out
+}
+
+// runCompare loads the two newest artifacts and fails on regression.
+func runCompare(dir string, tolerance float64) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var arts []numbered
+	re := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	for _, p := range paths {
+		if m := re.FindStringSubmatch(p); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			arts = append(arts, numbered{n, p})
+		}
+	}
+	if len(arts) < 2 {
+		// First point of the trajectory: nothing to compare against.
+		return 0
+	}
+	sort.Slice(arts, func(i, j int) bool { return arts[i].n < arts[j].n })
+	oldArt, err := readArtifact(arts[len(arts)-2].path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newArt, err := readArtifact(arts[len(arts)-1].path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	oldBy := map[string]benchResult{}
+	for _, b := range oldArt.Benchmarks {
+		oldBy[b.Pkg+"/"+b.Name] = b
+	}
+	failed := false
+	for _, nb := range newArt.Benchmarks {
+		ob, ok := oldBy[nb.Pkg+"/"+nb.Name]
+		if !ok {
+			continue // new benchmark this PR; no baseline
+		}
+		if nb.NsPerOp > ob.NsPerOp*(1+tolerance) {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s %s: %.0f ns/op -> %.0f ns/op (+%.1f%%)\n",
+				nb.Pkg, nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1))
+			failed = true
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s %s: %.1f allocs/op -> %.1f allocs/op\n",
+				nb.Pkg, nb.Name, ob.AllocsPerOp, nb.AllocsPerOp)
+			failed = true
+		}
+	}
+	if o, n := oldArt.ServeLoad, newArt.ServeLoad; o.QPS > 0 && n.QPS < o.QPS*(1-tolerance) {
+		fmt.Fprintf(os.Stderr, "REGRESSION serve load: %.0f QPS -> %.0f QPS (-%.1f%%)\n",
+			o.QPS, n.QPS, 100*(1-n.QPS/o.QPS))
+		failed = true
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: %s regressed past %s by more than %.0f%%\n",
+			arts[len(arts)-1].path, arts[len(arts)-2].path, tolerance*100)
+		return 1
+	}
+	fmt.Printf("benchjson: %s within %.0f%% of %s\n",
+		arts[len(arts)-1].path, tolerance*100, arts[len(arts)-2].path)
+	return 0
+}
+
+func readArtifact(path string) (artifact, error) {
+	var a artifact
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

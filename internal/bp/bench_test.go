@@ -51,3 +51,22 @@ func BenchmarkBPDecodeLayered(b *testing.B) {
 		d.Decode(syns[i%len(syns)])
 	}
 }
+
+// BenchmarkBPDecodeBatch64 measures the batched SoA kernel at one full
+// bit-sliced word of lanes; ns/op is per batch (divide by 64 for the
+// per-syndrome cost against BenchmarkBPDecode). Must report 0 allocs/op.
+func BenchmarkBPDecodeBatch64(b *testing.B) {
+	model := benchModel(b)
+	d := New(model.Mech, model.LLRs(), Config{MaxIters: 30})
+	syns := benchSyndromes(b, model, 64)
+	out := make([]gf2.Vec, 64)
+	for i := range out {
+		out[i] = gf2.NewVec(model.NumMech())
+	}
+	d.DecodeBatch(syns, out) // size the owned batch scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DecodeBatch(syns, out)
+	}
+}

@@ -70,6 +70,10 @@ type Decoder struct {
 	hard                   gf2.Vec
 	syn                    gf2.Vec // syndrome-check scratch
 
+	// batch is the batched kernel's owned scratch (batch.go), built
+	// lazily on the first DecodeBatch so serial-only users pay nothing.
+	batch *batchScratch
+
 	probe *obs.Probe // per-iteration span recording (inactive by default)
 }
 
@@ -105,6 +109,7 @@ func (d *Decoder) Clone() *Decoder {
 	c.posterior = make([]float64, len(d.posterior))
 	c.hard = gf2.NewVec(d.g.NumVars)
 	c.syn = gf2.NewVec(d.g.NumChecks)
+	c.batch = nil // rebuilt lazily; batch scratch is per-instance
 	c.probe = obs.NewProbe()
 	return &c
 }

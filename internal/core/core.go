@@ -144,7 +144,8 @@ type Vegapunk struct {
 	name      string
 	dec       *decouple.Decoupling
 	online    *hier.Decoder
-	fullOuter int // constructed outer-round cap (TierFull)
+	fullOuter int     // constructed outer-round cap (TierFull)
+	stats     []Stats // DecodeBatch result scratch (batch.go)
 }
 
 // BuildVegapunk runs the offline stage on the model's check matrix and
@@ -216,9 +217,10 @@ func (v *Vegapunk) Decoupling() *decouple.Decoupling { return v.dec }
 // ---- BP ----
 
 type bpDecoder struct {
-	name string
-	d    *bp.Decoder
-	full int // constructed iteration cap (TierFull)
+	name  string
+	d     *bp.Decoder
+	full  int     // constructed iteration cap (TierFull)
+	stats []Stats // DecodeBatch result scratch (batch.go)
 }
 
 // NewBP wraps plain belief propagation (min-sum), the paper's FPGA

@@ -1,0 +1,146 @@
+package gf2
+
+// Bit-sliced lane layout. The batched decoders process up to 64
+// syndromes ("lanes") at once; their GF(2) stages keep one uint64 word
+// per original bit position, with bit l holding lane l's value. In that
+// layout a CSR parity sweep or a residual XOR serves all 64 lanes with
+// one pass over the indices — the "64-wide bit-sliced" stages of the
+// batched decode path.
+//
+// Converting between the row-major Vec layout and the bit-sliced layout
+// is a 64×64 bit-matrix transpose per block of 64 bit positions
+// (TransposeBits64); PackLanesInto/UnpackLanesInto wrap it for slices
+// of vectors, and LaneUnpackInto extracts one lane without transposing
+// the whole block (the per-lane freeze path of the batched BP kernel).
+
+// MaxLanes is the lane capacity of the bit-sliced layout: one lane per
+// bit of a machine word.
+const MaxLanes = 64
+
+// TransposeBits64 transposes a 64×64 bit matrix in place: afterwards
+// bit j of word i equals the former bit i of word j. This is the
+// classic recursive block-swap transpose (Hacker's Delight 7-3),
+// log₂(64) = 6 passes of masked swaps.
+func TransposeBits64(a *[64]uint64) {
+	// m masks the bit positions b with b&j == 0; the inner swap moves
+	// bit b+j of word k onto bit b of word k|j and back (LSB-first
+	// orientation, so the result is the true transpose, not the
+	// anti-diagonal flip of the MSB-first textbook version).
+	m := uint64(0x00000000FFFFFFFF)
+	for j := 32; j != 0; {
+		for k := 0; k < 64; k = ((k | j) + 1) &^ j {
+			t := ((a[k] >> uint(j)) ^ a[k|j]) & m
+			a[k] ^= t << uint(j)
+			a[k|j] ^= t
+		}
+		j >>= 1
+		m ^= m << uint(j)
+	}
+}
+
+// PackLanesInto packs up to 64 equal-length vectors into the bit-sliced
+// layout: dst[i] bit l = srcs[l] bit i. dst must have one word per bit
+// position (srcs[0].Len() entries); missing lanes (len(srcs) < 64) read
+// as zero. The vectors must all share one length.
+//
+//vegapunk:hotpath
+func PackLanesInto(dst []uint64, srcs []Vec) {
+	if len(srcs) == 0 {
+		return
+	}
+	n := srcs[0].Len()
+	if len(srcs) > MaxLanes {
+		panic("gf2: PackLanesInto with more than 64 lanes")
+	}
+	if len(dst) < n {
+		panic("gf2: PackLanesInto dst too short")
+	}
+	var blk [64]uint64
+	words := wordsFor(n)
+	for wi := 0; wi < words; wi++ {
+		for l := range blk {
+			blk[l] = 0
+		}
+		for l, v := range srcs {
+			if v.Len() != n {
+				panic("gf2: PackLanesInto length mismatch")
+			}
+			blk[l] = v.Word(wi)
+		}
+		TransposeBits64(&blk)
+		base := wi * wordBits
+		hi := n - base
+		if hi > wordBits {
+			hi = wordBits
+		}
+		copy(dst[base:base+hi], blk[:hi])
+	}
+}
+
+// UnpackLanesInto is the inverse of PackLanesInto: dsts[l] bit i =
+// src[i] bit l. Every destination vector must have length len-covering
+// the packed positions (all equal); lanes beyond len(dsts) are
+// discarded.
+//
+//vegapunk:hotpath
+func UnpackLanesInto(dsts []Vec, src []uint64) {
+	if len(dsts) == 0 {
+		return
+	}
+	n := dsts[0].Len()
+	if len(dsts) > MaxLanes {
+		panic("gf2: UnpackLanesInto with more than 64 lanes")
+	}
+	if len(src) < n {
+		panic("gf2: UnpackLanesInto src too short")
+	}
+	var blk [64]uint64
+	words := wordsFor(n)
+	for wi := 0; wi < words; wi++ {
+		base := wi * wordBits
+		hi := n - base
+		if hi > wordBits {
+			hi = wordBits
+		}
+		for i := 0; i < hi; i++ {
+			blk[i] = src[base+i]
+		}
+		for i := hi; i < wordBits; i++ {
+			blk[i] = 0
+		}
+		TransposeBits64(&blk)
+		for l, v := range dsts {
+			if v.Len() != n {
+				panic("gf2: UnpackLanesInto length mismatch")
+			}
+			v.SetWord(wi, blk[l])
+		}
+	}
+}
+
+// LaneUnpackInto extracts lane l of a bit-sliced array into dst:
+// dst bit i = src[i] bit l. dst.Len() positions are read from src.
+// Cheaper than UnpackLanesInto when only one lane is needed — the
+// batched BP kernel freezes each lane's output the iteration it
+// converges.
+//
+//vegapunk:hotpath
+func LaneUnpackInto(dst Vec, src []uint64, lane int) {
+	n := dst.Len()
+	if len(src) < n {
+		panic("gf2: LaneUnpackInto src too short")
+	}
+	words := wordsFor(n)
+	for wi := 0; wi < words; wi++ {
+		base := wi * wordBits
+		hi := n - base
+		if hi > wordBits {
+			hi = wordBits
+		}
+		var w uint64
+		for b := 0; b < hi; b++ {
+			w |= (src[base+b] >> uint(lane) & 1) << uint(b)
+		}
+		dst.SetWord(wi, w)
+	}
+}

@@ -190,3 +190,56 @@ func FuzzTransposeRank(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBitSlicePackRoundTrip: packing any lane set into the bit-sliced
+// layout and unpacking it back must reproduce every lane exactly, and
+// single-lane extraction must agree with the full unpack.
+func FuzzBitSlicePackRoundTrip(f *testing.F) {
+	f.Add(uint16(0xACE1), uint8(65), uint8(3))
+	f.Add(uint16(0x42), uint8(64), uint8(64))
+	f.Add(uint16(7), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint16, nRaw, lanesRaw uint8) {
+		n := int(nRaw%200) + 1
+		lanes := int(lanesRaw%64) + 1
+		state := uint32(seed) + 1
+		next := func() uint32 {
+			state ^= state << 13
+			state ^= state >> 17
+			state ^= state << 5
+			return state
+		}
+		srcs := make([]Vec, lanes)
+		for l := range srcs {
+			srcs[l] = NewVec(n)
+			for i := 0; i < n; i++ {
+				if next()%2 == 0 {
+					srcs[l].Set(i, true)
+				}
+			}
+		}
+		packed := make([]uint64, n)
+		PackLanesInto(packed, srcs)
+		if lanes < 64 {
+			for i, w := range packed {
+				if w>>uint(lanes) != 0 {
+					t.Fatalf("packed[%d] has bits beyond lane %d", i, lanes)
+				}
+			}
+		}
+		dsts := make([]Vec, lanes)
+		for l := range dsts {
+			dsts[l] = NewVec(n)
+		}
+		UnpackLanesInto(dsts, packed)
+		one := NewVec(n)
+		for l := range srcs {
+			if !dsts[l].Equal(srcs[l]) {
+				t.Fatalf("round trip changed lane %d", l)
+			}
+			LaneUnpackInto(one, packed, l)
+			if !one.Equal(srcs[l]) {
+				t.Fatalf("LaneUnpackInto lane %d != source", l)
+			}
+		}
+	})
+}

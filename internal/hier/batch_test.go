@@ -1,0 +1,112 @@
+package hier
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"vegapunk/internal/decouple"
+	"vegapunk/internal/dem"
+	"vegapunk/internal/gf2"
+)
+
+// batchSizes is the pinned batch≡serial identity matrix: below, at and
+// above one bit-sliced word, plus a multi-chunk size.
+var batchSizes = []int{1, 3, 63, 64, 65, 200}
+
+func sampleSyndromes(model *dem.Model, n int, seed uint64) []gf2.Vec {
+	rng := rand.New(rand.NewPCG(seed, 13))
+	out := make([]gf2.Vec, n)
+	for i := range out {
+		out[i] = model.Syndrome(model.Sample(rng))
+	}
+	return out
+}
+
+// TestDecodeBatchMatchesSerial pins the tentpole contract for the
+// hierarchical decoder: DecodeBatch output and traces are bit-identical
+// to N serial Decode calls, for every pinned batch size, reusing one
+// instance across differently-sized batches.
+func TestDecodeBatchMatchesSerial(t *testing.T) {
+	for _, fix := range []func(*testing.T) (*dem.Model, *decouple.Decoupling){hpFixture, bbFixture} {
+		model, dec := fix(t)
+		serial := New(dec, model.LLRs(), Config{})
+		batched := New(dec, model.LLRs(), Config{})
+
+		for _, size := range batchSizes {
+			syns := sampleSyndromes(model, size, uint64(size))
+			want := make([]gf2.Vec, size)
+			wantTr := make([]Trace, size)
+			for i, s := range syns {
+				e, tr := serial.Decode(s)
+				want[i] = e.Clone()
+				wantTr[i] = tr
+			}
+			out := make([]gf2.Vec, size)
+			for i := range out {
+				out[i] = gf2.NewVec(model.NumMech())
+			}
+			traces := batched.DecodeBatch(syns, out)
+			if len(traces) != size {
+				t.Fatalf("%s size %d: got %d traces", model.Name, size, len(traces))
+			}
+			for i := range syns {
+				if !out[i].Equal(want[i]) {
+					t.Errorf("%s size %d lane %d: batch output differs from serial", model.Name, size, i)
+				}
+				if traces[i] != wantTr[i] {
+					t.Errorf("%s size %d lane %d: trace %+v != serial %+v", model.Name, size, i, traces[i], wantTr[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeBatchInterleavedWithSerial checks that mixing Decode and
+// DecodeBatch on one instance never bleeds state between the paths.
+func TestDecodeBatchInterleavedWithSerial(t *testing.T) {
+	model, dec := hpFixture(t)
+	ref := New(dec, model.LLRs(), Config{})
+	d := New(dec, model.LLRs(), Config{})
+	syns := sampleSyndromes(model, 12, 3)
+	out := make([]gf2.Vec, len(syns))
+	for i := range out {
+		out[i] = gf2.NewVec(model.NumMech())
+	}
+	for round := 0; round < 3; round++ {
+		d.DecodeBatch(syns, out)
+		for i, s := range syns {
+			wantE, wantTr := ref.Decode(s)
+			if !out[i].Equal(wantE) {
+				t.Fatalf("round %d lane %d: batch differs after interleaving", round, i)
+			}
+			gotE, gotTr := d.Decode(s)
+			if !gotE.Equal(wantE) || gotTr != wantTr {
+				t.Fatalf("round %d lane %d: serial differs after batch", round, i)
+			}
+		}
+	}
+}
+
+// TestDecodeBatchParallelConfig pins the batch path under the parallel
+// candidate sweep too — escalation reuses the scalar outer loop, so the
+// worker pool must behave identically.
+func TestDecodeBatchParallelConfig(t *testing.T) {
+	model, dec := hpFixture(t)
+	serial := New(dec, model.LLRs(), Config{})
+	batched := New(dec, model.LLRs(), Config{Parallel: true, Workers: 4})
+	syns := sampleSyndromes(model, 20, 9)
+	out := make([]gf2.Vec, len(syns))
+	for i := range out {
+		out[i] = gf2.NewVec(model.NumMech())
+	}
+	traces := batched.DecodeBatch(syns, out)
+	for i, s := range syns {
+		wantE, wantTr := serial.Decode(s)
+		if !out[i].Equal(wantE) {
+			t.Errorf("lane %d: parallel batch output differs from serial", i)
+		}
+		if traces[i].Weight != wantTr.Weight {
+			t.Errorf("lane %d: parallel batch weight %v != %v", i, traces[i].Weight, wantTr.Weight)
+		}
+	}
+}

@@ -57,3 +57,21 @@ func BenchmarkGreedyGuess(b *testing.B) {
 		d.greedyGuess(0, sl, &sol)
 	}
 }
+
+// BenchmarkHierDecodeBatch64 runs 64 syndromes through one DecodeBatch
+// per op (compare per-syndrome cost against 64× BenchmarkHierDecode);
+// it must report 0 allocs/op.
+func BenchmarkHierDecodeBatch64(b *testing.B) {
+	model, dec, syns := benchFixture(b)
+	d := New(dec, model.LLRs(), Config{})
+	out := make([]gf2.Vec, len(syns))
+	for i := range out {
+		out[i] = gf2.NewVec(model.NumMech())
+	}
+	d.DecodeBatch(syns, out) // warm the owned batch scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DecodeBatch(syns, out)
+	}
+}

@@ -108,6 +108,10 @@ type Decoder struct {
 	onesBuf   []int      // AppendOnes scratch
 	results   []cand     // parallel per-worker bests, Workers entries
 
+	// hb is the batched path's owned scratch (batch.go), built lazily on
+	// the first DecodeBatch so serial-only users pay nothing.
+	hb *hbatch
+
 	// probe records base-solve and per-level spans. Only the Decode
 	// goroutine records (the parallel candidate sweep stays silent —
 	// rings are single-writer).
@@ -243,13 +247,23 @@ func (d *Decoder) wA() []float64 { // A columns
 //
 //vegapunk:hotpath
 func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
-	dec := d.dec
 	tr := Trace{}
 	d.dec.TransformSyndromeInto(d.sPrime, syndrome) // line 1
-	d.rBest.Zero()                                  // line 2
-	d.slBase.CopyFrom(d.sPrime)                     // s' ⊕ A·rBest (rBest = 0)
+	d.baseSolve(&tr)
+	dMin := d.outerLoop(&tr)
+	d.assembleInto(d.out, dMin, &tr)
+	return d.out, tr
+}
 
-	// Baseline solution: decode every block against slBase.
+// baseSolve computes the baseline solution for the transformed syndrome
+// in d.sPrime: rBest ← 0, slBase ← s', and every block decoded against
+// slBase (Algorithm 1 line 2 plus the level-0 block solves).
+//
+//vegapunk:hotpath
+func (d *Decoder) baseSolve(tr *Trace) {
+	dec := d.dec
+	d.rBest.Zero()              // line 2
+	d.slBase.CopyFrom(d.sPrime) // s' ⊕ A·rBest (rBest = 0)
 	t := d.probe.Tick()
 	for g := 0; g < dec.K; g++ {
 		dec.BlockSyndromeInto(d.scratch.sl, d.slBase, g)
@@ -259,8 +273,18 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 			tr.MaxInnerIters = d.sols[g].inner
 		}
 	}
+	d.probe.SpanSince(obs.StageHierBase, dec.K, t)
+}
+
+// outerLoop runs the right-error guessing rounds (Algorithm 1 lines
+// 3-14) against the state prepared by baseSolve — rBest, slBase and the
+// committed block solutions — and returns the final objective value.
+//
+//vegapunk:hotpath
+func (d *Decoder) outerLoop(tr *Trace) float64 {
+	dec := d.dec
 	dMin := d.totalWeight()
-	t = d.probe.SpanSince(obs.StageHierBase, dec.K, t)
+	t := d.probe.Tick()
 
 	for k := 1; k <= d.cfg.MaxIters; k++ { // line 3
 		tr.OuterIters = k
@@ -352,8 +376,16 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 		dMin += bestDelta
 		t = d.probe.SpanSince(obs.StageHierLevel, k, t)
 	}
+	return dMin
+}
 
-	// Assemble e' and recover e = P·e' (line 15).
+// assembleInto builds e' from the committed block solutions and rBest,
+// recovers e = P·e' into dst (length N, original column order), and
+// finalizes the trace (Algorithm 1 line 15).
+//
+//vegapunk:hotpath
+func (d *Decoder) assembleInto(dst gf2.Vec, dMin float64, tr *Trace) {
+	dec := d.dec
 	d.ePrime.Zero()
 	for g := 0; g < dec.K; g++ {
 		base := g * dec.ND
@@ -372,8 +404,7 @@ func (d *Decoder) Decode(syndrome gf2.Vec) (gf2.Vec, Trace) {
 		d.ePrime.Set(aBase+i, true)
 	}
 	tr.Weight = dMin
-	d.dec.RecoverErrorInto(d.out, d.ePrime)
-	return d.out, tr
+	d.dec.RecoverErrorInto(dst, d.ePrime)
 }
 
 // evalCandidate scores candidate i (flip bit i of rBest) without

@@ -86,6 +86,9 @@ const (
 	StageDecode
 	// StageCopyOut spans the post-decode verify/copy-out work.
 	StageCopyOut
+	// StageDecodeBatch spans one DecodeBatch call at the pool boundary
+	// (arg carries the lane count).
+	StageDecodeBatch
 
 	numStages
 )
@@ -103,6 +106,7 @@ var stageNames = [numStages]string{
 	"dispatch",
 	"decode",
 	"copy_out",
+	"decode_batch",
 }
 
 // Name returns the stage's trace-event name.

@@ -53,6 +53,64 @@ func BenchmarkServiceDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceDecodeBatch64 measures batched dispatch end-to-end at
+// batch size 64: each op submits 64 syndromes before collecting any
+// result (the DecodeBatchInto shape, inlined via submit/wait so the
+// steady state stays at 0 allocs/op), so the queue coalesces into
+// micro-batches the service decodes through single DecodeBatch calls.
+// BenchmarkServiceDecodeBatch64Serial is the identical workload with
+// SerialDispatch forced — the pre-batching baseline the ≥2× acceptance
+// bar is measured against. Per-op cost covers all 64 syndromes.
+func BenchmarkServiceDecodeBatch64(b *testing.B) {
+	benchServiceBatch64(b, false)
+}
+
+// BenchmarkServiceDecodeBatch64Serial is the serial-dispatch ablation
+// of BenchmarkServiceDecodeBatch64 (see there).
+func BenchmarkServiceDecodeBatch64Serial(b *testing.B) {
+	benchServiceBatch64(b, true)
+}
+
+func benchServiceBatch64(b *testing.B, serialDispatch bool) {
+	model, factory := testModel(b)
+	// One worker on one decoder in both configs: the comparison isolates
+	// dispatch amortization (and the batched kernel) from multi-core
+	// fan-out, and keeps the busy worker saturating the batcher so
+	// micro-batches actually fill to MaxBatch.
+	svc := newService("bench", model, "BP(30)", factory, Config{
+		MaxBatch: 64, MaxWait: 20 * time.Microsecond, PoolSize: 1, Workers: 1,
+		SerialDispatch: serialDispatch,
+	})
+	defer svc.Close()
+	syndromes := sampleSyndromes(model, 64, 5)
+	reqs := make([]*request, len(syndromes))
+	ctx := context.Background()
+	var res Result // reused so the pool-boundary copy-out stays allocation-free
+	decodeAll := func() {
+		for j, s := range syndromes {
+			req, err := svc.submit(ctx, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs[j] = req
+		}
+		for _, req := range reqs {
+			if err := svc.wait(ctx, req, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Warm the request/batch freelists and the result buffers.
+	for i := 0; i < 4; i++ {
+		decodeAll()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeAll()
+	}
+}
+
 // BenchmarkServiceDecodeParallel exercises batch dispatch under
 // concurrent clients: multiple submitters fill micro-batches that fan
 // out across the pool.

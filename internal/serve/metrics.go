@@ -73,8 +73,11 @@ type serviceMetrics struct {
 	requests    Counter
 	unsatisfied Counter
 	batches     Counter
-	queueDepth  Gauge
-	batchSize   *Histogram
+	// batchedDecodes counts multi-request micro-batches dispatched as a
+	// single DecodeBatch call (the batch-capable path).
+	batchedDecodes Counter
+	queueDepth     Gauge
+	batchSize      *Histogram
 	// Per-stage latencies: admission to dispatch (queueWaitSeconds),
 	// first enqueue to batch flush (assembleSeconds), the decoder call
 	// (decodeSeconds), and the pool-boundary copy-out plus syndrome
@@ -118,6 +121,8 @@ func writeServiceFamilies(w io.Writer, svcs []*Service) {
 		func(s *Service) uint64 { return s.met.unsatisfied.Load() })
 	counterFam(w, "vegapunk_serve_batches_total", "Micro-batches dispatched.", svcs,
 		func(s *Service) uint64 { return s.met.batches.Load() })
+	counterFam(w, "vegapunk_serve_batched_decodes_total", "Micro-batches decoded through a single DecodeBatch call.", svcs,
+		func(s *Service) uint64 { return s.met.batchedDecodes.Load() })
 	gaugeFam(w, "vegapunk_serve_queue_depth", "Syndromes admitted but not yet decoded.", svcs,
 		func(s *Service) int64 { return s.met.queueDepth.Load() })
 	histFam(w, "vegapunk_serve_batch_size", "Syndromes per dispatched micro-batch.", svcs,

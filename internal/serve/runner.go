@@ -28,13 +28,26 @@ type runner struct {
 	out  chan runnerOutcome
 	syn  gf2.Vec
 	ring *obs.Ring
+
+	// Batch-dispatch buffers (allocated only on batch-capable services):
+	// the worker stages up to MaxBatch syndromes into syns before the
+	// send, and the batched decode writes runner-owned outputs into outs
+	// and stats. Runner ownership follows the same hang rule as syn — a
+	// decode that outlives its requests never touches recycled request
+	// memory.
+	syns  []gf2.Vec
+	outs  []gf2.Vec
+	stats []core.Stats
 }
 
 // runnerJob hands one decode (and the decoder to run it on) to a
-// runner. The syndrome travels out of band in runner.syn.
+// runner. The syndrome travels out of band in runner.syn — or, when
+// lanes > 0, in runner.syns[:lanes] for one batched decode whose
+// results land in runner.outs/stats.
 type runnerJob struct {
 	dec     core.Decoder
 	tier    core.Tier
+	lanes   int // 0 = single decode via syn; >0 = DecodeBatch over syns[:lanes]
 	sampled bool
 	id      uint64
 }
@@ -57,6 +70,15 @@ func (s *Service) newRunner() *runner {
 		out:  make(chan runnerOutcome, 1),
 		syn:  gf2.NewVec(s.model.NumDet),
 		ring: s.tracer.Ring(),
+	}
+	if s.batchCapable {
+		r.syns = make([]gf2.Vec, s.cfg.MaxBatch)
+		r.outs = make([]gf2.Vec, s.cfg.MaxBatch)
+		r.stats = make([]core.Stats, s.cfg.MaxBatch)
+		for i := range r.syns {
+			r.syns[i] = gf2.NewVec(s.model.NumDet)
+			r.outs[i] = gf2.NewVec(s.model.NumMech())
+		}
 	}
 	go r.run() //vegapunk:allow(alloc) one goroutine per runner lifetime, not per decode
 	return r
@@ -90,6 +112,14 @@ func (r *runner) guardedDecode(job runnerJob, o *runnerOutcome) {
 	if job.sampled {
 		probe.Activate(r.ring, job.id)
 	}
+	if job.lanes > 0 {
+		// Batched dispatch: one kernel call fills runner-owned outs and
+		// stats; the worker copies each lane out before releasing the
+		// decoder.
+		core.DecodeBatch(job.dec, r.syns[:job.lanes], r.outs[:job.lanes], r.stats[:job.lanes])
+		probe.Deactivate()
+		return
+	}
 	est, stats := job.dec.Decode(r.syn)
 	probe.Deactivate()
 	o.est = est //vegapunk:allow(scratch) ownership travels back to the worker with the outcome; the decoder stays held until the worker copies out
@@ -106,11 +136,13 @@ func (o *runnerOutcome) catch() {
 
 // workerState bundles a worker goroutine's long-lived resources: the
 // currently held decoder, the decode runner, the syndrome-check
-// scratch, the span ring and the watchdog timer.
+// scratch, the span ring, the watchdog timer and (on batch-capable
+// services) the per-lane request claims of the in-flight batch.
 type workerState struct {
-	dec   core.Decoder
-	r     *runner
-	syn   gf2.Vec
-	ring  *obs.Ring
-	timer *time.Timer
+	dec    core.Decoder
+	r      *runner
+	syn    gf2.Vec
+	ring   *obs.Ring
+	timer  *time.Timer
+	claims []*request
 }

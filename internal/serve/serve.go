@@ -81,6 +81,11 @@ type Config struct {
 	// submissions with ErrCircuitOpen before letting a half-open probe
 	// request through (default 2s).
 	BreakerCooldown time.Duration
+	// SerialDispatch forces per-request dispatch even when the decoder
+	// implements core.BatchDecoder — the pre-batching baseline, kept as
+	// an ablation/rollback knob. Default false: a batch-capable decoder
+	// receives each micro-batch as one DecodeBatch call.
+	SerialDispatch bool
 	// Tracer, when set, samples decode requests into per-goroutine span
 	// rings (GET /debug/decodetrace). Nil disables span recording.
 	Tracer *obs.Tracer

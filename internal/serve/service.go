@@ -109,9 +109,14 @@ type Service struct {
 	obs         *gf2.CSC
 	pool        *Pool
 	cfg         Config
-	met         *serviceMetrics
-	tracer      *obs.Tracer  // never nil; disabled stand-in when unset
-	slow        *obs.SlowLog // nil when slow logging is off
+	// batchCapable reports that the pool's decoders implement
+	// core.BatchDecoder (detected once at construction): the batcher
+	// then hands each multi-request micro-batch to a single worker as
+	// one DecodeBatch call instead of fanning it out per request.
+	batchCapable bool
+	met          *serviceMetrics
+	tracer       *obs.Tracer  // never nil; disabled stand-in when unset
+	slow         *obs.SlowLog // nil when slow logging is off
 
 	in   chan *request
 	work chan *batch
@@ -167,6 +172,12 @@ func newService(key string, model *dem.Model, decoderName string, factory core.F
 		reqFree:     make(chan *request, 4*cfg.MaxBatch),
 		batchFree:   make(chan *batch, cfg.Workers+1),
 		breaker:     newBreaker(cfg.BreakerThreshold, int64(cfg.BreakerCooldown)),
+	}
+	if !cfg.SerialDispatch {
+		// Capability probe: one throwaway instance decides the dispatch
+		// shape for the service lifetime (the pool's instances all come
+		// from the same factory).
+		_, s.batchCapable = factory().(core.BatchDecoder)
 	}
 	s.ladder.maxTier = cfg.maxDegradeTier()
 	s.ladder.queueHigh = int64(cfg.DegradeQueueHigh)
@@ -400,12 +411,17 @@ func (s *Service) batcher() {
 	}
 }
 
-// flush hands the batch to up to Workers workers.
+// flush hands the batch to up to Workers workers — or, when the
+// decoders are batch-capable, to exactly one worker that carries the
+// whole batch through a single DecodeBatch call (one pool acquisition
+// and one kernel dispatch instead of len(b.reqs) of each).
 //
 //vegapunk:hotpath
 func (s *Service) flush(b *batch) {
 	k := len(b.reqs)
-	if k > s.cfg.Workers {
+	if s.batchCapable && k > 1 {
+		k = 1
+	} else if k > s.cfg.Workers {
 		k = s.cfg.Workers
 	}
 	b.holders.Store(int64(k))
@@ -431,6 +447,9 @@ func (s *Service) worker() {
 		ring:  s.tracer.Ring(),            //vegapunk:allow(alloc) one span ring per worker goroutine lifetime
 		timer: time.NewTimer(time.Hour),   //vegapunk:allow(alloc) one watchdog timer per worker lifetime
 	}
+	if s.batchCapable {
+		w.claims = make([]*request, s.cfg.MaxBatch) //vegapunk:allow(alloc) worker-owned claim table, once per goroutine lifetime
+	}
 	if !w.timer.Stop() {
 		<-w.timer.C
 	}
@@ -441,12 +460,18 @@ func (s *Service) worker() {
 			panic(err)
 		}
 		w.dec = dec
-		for {
-			i := b.next.Add(1) - 1
-			if i >= int64(len(b.reqs)) {
-				break
+		if s.batchCapable && len(b.reqs) > 1 {
+			// flush dispatched this batch to exactly one worker (us):
+			// decode every request through one DecodeBatch call.
+			s.processBatch(&w, b)
+		} else {
+			for {
+				i := b.next.Add(1) - 1
+				if i >= int64(len(b.reqs)) {
+					break
+				}
+				s.process(&w, b.reqs[i])
 			}
-			s.process(&w, b.reqs[i])
 		}
 		s.pool.Release(w.dec)
 		s.load.Add(-1)
@@ -589,6 +614,125 @@ func (s *Service) process(w *workerState, req *request) {
 		})
 	}
 	s.finish(req, nil)
+}
+
+// processBatch runs a whole micro-batch through one DecodeBatch call
+// on the worker's runner — the batch-capable dispatch path. Per-request
+// admission work (queue-wait accounting, deadline shedding) still
+// happens per lane; the decoder dispatch, hang watchdog, fault
+// quarantine and breaker bookkeeping happen once per batch. The copy-out
+// boundary is unchanged: every lane's result is copied out of the
+// runner-owned outputs before the decoder is released.
+//
+//vegapunk:hotpath
+func (s *Service) processBatch(w *workerState, b *batch) {
+	t0 := obs.Tick()
+	p99 := s.p99DecodeNs.Load()
+	n := 0
+	for _, req := range b.reqs {
+		req.queueWaitNs = t0 - req.enq
+		s.met.queueWaitSeconds.Observe(obs.DurSeconds(req.queueWaitNs))
+		if req.deadline != 0 && p99 > 0 && t0+p99 > req.deadline {
+			s.met.shed.Add(1)
+			s.finish(req, ErrDeadlineBudget)
+			continue
+		}
+		if s.tracer.ShouldSample(req.id) {
+			w.ring.Record(obs.StageQueueWait, 0, uint32(req.id), req.enq, t0)
+		}
+		w.r.syns[n].CopyFrom(req.syndrome)
+		w.claims[n] = req
+		n++
+	}
+	if n == 0 {
+		return // every lane shed
+	}
+	claims := w.claims[:n]
+	lead := claims[0]
+	sampled := s.tracer.ShouldSample(lead.id)
+	w.r.in <- runnerJob{dec: w.dec, tier: s.ladder.active(), lanes: n, sampled: sampled, id: lead.id}
+	w.timer.Reset(s.cfg.HangTimeout)
+	var o runnerOutcome
+	select {
+	case o = <-w.r.out:
+		if !w.timer.Stop() {
+			select {
+			case <-w.timer.C:
+			default:
+			}
+		}
+	case <-w.timer.C:
+		s.met.decoderHangs.Add(1)
+		s.quarantine(w, true)
+		for _, req := range claims {
+			s.finish(req, ErrDecoderFault)
+		}
+		return
+	}
+	t1 := obs.Tick()
+	if o.panicked {
+		s.met.decoderPanics.Add(1)
+		s.quarantine(w, false)
+		for _, req := range claims {
+			s.finish(req, ErrDecoderFault)
+		}
+		return
+	}
+	// No est-length check: the batch outputs are runner-owned vectors
+	// sized for the model at construction, so a defective decoder cannot
+	// hand back a wrong-length result without panicking first.
+	s.breaker.recordSuccess()
+	s.met.batchedDecodes.Add(1)
+	if sampled {
+		w.ring.Record(obs.StageDecodeBatch, int32(n), uint32(lead.id), t0, t1)
+	}
+	decodeNs := t1 - t0
+	s.met.decodeSeconds.Observe(obs.DurSeconds(decodeNs))
+	prev := t1
+	degraded := o.tier > core.TierFull
+	for i, req := range claims {
+		req.tier = o.tier
+		if degraded {
+			s.met.degraded.Add(1)
+		}
+		req.decodeNs = decodeNs
+		est := w.r.outs[i]
+		gf2.CopyVec(&req.correction, est)
+		s.mech.MulVecInto(w.syn, est)
+		req.satisfied = w.syn.Equal(req.syndrome)
+		s.obs.MulVecInto(req.observables, est)
+		req.stats = w.r.stats[i]
+		t2 := obs.Tick()
+		req.copyOutNs = t2 - prev
+		prev = t2
+
+		synWeight := req.syndrome.Weight()
+		s.met.copyOutSeconds.Observe(obs.DurSeconds(req.copyOutNs))
+		s.met.dec.Record(req.stats.BPIters, req.stats.BPConverged, req.stats.Fallback,
+			req.stats.Hier.OuterIters, req.stats.BPGDRounds, req.stats.LSDMaxCluster, synWeight)
+		if !req.satisfied {
+			s.met.unsatisfied.Add(1)
+		}
+		if total := t2 - req.enq; s.slow != nil && total >= int64(s.cfg.SlowThreshold) {
+			s.slow.Offer(obs.SlowEvent{
+				ID:             req.id,
+				Model:          s.key,
+				Decoder:        s.decoderName,
+				SyndromeWeight: synWeight,
+				QueueWaitNs:    req.queueWaitNs,
+				DecodeNs:       req.decodeNs,
+				CopyOutNs:      req.copyOutNs,
+				TotalNs:        total,
+				BPIters:        req.stats.BPIters,
+				HierLevels:     req.stats.Hier.OuterIters,
+				Satisfied:      req.satisfied,
+			})
+		}
+		s.finish(req, nil)
+	}
+	if nn := s.decodes.Add(uint64(n)); nn%p99RefreshEvery < uint64(n) {
+		s.p99DecodeNs.Store(int64(s.met.decodeSeconds.Quantile(0.99) * 1e9))
+	}
 }
 
 // finish completes a request with its terminal outcome: exactly one of

@@ -99,6 +99,92 @@ func TestConcurrentPoolMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestBatchDispatchMatchesSerial is the batched-dispatch keystone:
+// with batch-capable decoders the service routes each multi-request
+// micro-batch through one DecodeBatch call, and the corrections must
+// stay bit-identical to one decoder run serially over the same
+// syndromes. Run under -race this also proves the runner-owned batch
+// buffers and the per-lane copy-out boundary have no data races.
+func TestBatchDispatchMatchesSerial(t *testing.T) {
+	model, factory := testModel(t)
+	const nSyn = 160
+	syndromes := sampleSyndromes(model, nSyn, 42)
+
+	ref := factory()
+	want := make([]gf2.Vec, nSyn)
+	for i, s := range syndromes {
+		est, _ := ref.Decode(s)
+		want[i] = est.Clone()
+	}
+
+	// One worker forces the queue to back up so multi-request batches
+	// actually form (the batcher only coalesces under saturation).
+	svc := newService("test", model, "BP(30)", factory, Config{
+		MaxBatch: 64, MaxWait: 50 * time.Microsecond, PoolSize: 1, Workers: 1,
+	})
+	defer svc.Close()
+	if !svc.batchCapable {
+		t.Fatal("BP service should detect BatchDecoder capability")
+	}
+
+	const clients = 8
+	got := make([]gf2.Vec, nSyn)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := c*nSyn/clients, (c+1)*nSyn/clients
+			results := make([]Result, hi-lo)
+			if err := svc.DecodeBatchInto(context.Background(), results, syndromes[lo:hi]); err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			for i := range results {
+				got[lo+i] = results[i].Correction.Clone()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for i := range want {
+		if got[i].Len() == 0 {
+			t.Fatalf("syndrome %d never decoded", i)
+		}
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("syndrome %d: batched correction differs from serial reference", i)
+		}
+	}
+	if svc.met.batchedDecodes.Load() == 0 {
+		t.Fatal("no micro-batch went through the DecodeBatch path")
+	}
+	if svc.met.queueDepth.Load() != 0 {
+		t.Fatalf("queue depth = %d after drain, want 0", svc.met.queueDepth.Load())
+	}
+}
+
+// TestSerialDispatchAblation pins the rollback knob: with
+// Config.SerialDispatch set, a batch-capable decoder still takes the
+// per-request path and no DecodeBatch dispatch happens.
+func TestSerialDispatchAblation(t *testing.T) {
+	model, factory := testModel(t)
+	svc := newService("test", model, "BP(30)", factory, Config{
+		MaxBatch: 8, SerialDispatch: true,
+	})
+	defer svc.Close()
+	if svc.batchCapable {
+		t.Fatal("SerialDispatch should disable the capability probe")
+	}
+	syndromes := sampleSyndromes(model, 16, 9)
+	results := make([]Result, len(syndromes))
+	if err := svc.DecodeBatchInto(context.Background(), results, syndromes); err != nil {
+		t.Fatal(err)
+	}
+	if n := svc.met.batchedDecodes.Load(); n != 0 {
+		t.Fatalf("batchedDecodes = %d with SerialDispatch, want 0", n)
+	}
+}
+
 func TestDecodeBatchInto(t *testing.T) {
 	model, factory := testModel(t)
 	svc := newService("test", model, "BP(30)", factory, Config{MaxBatch: 4})
