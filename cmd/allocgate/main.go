@@ -37,6 +37,9 @@ var defaultPins = []struct {
 	{"BenchmarkOSDDecode$", []string{"./internal/osd"}},
 	{"BenchmarkServiceDecode$", []string{"./internal/serve"}},
 	{"BenchmarkServiceDecodeBatch64$", []string{"./internal/serve"}},
+	{"BenchmarkWireAppendDecode$", []string{"./internal/wire"}},
+	{"BenchmarkWireParseResult$", []string{"./internal/wire"}},
+	{"BenchmarkRouterPick$", []string{"./internal/cluster"}},
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+(?:\.\d+)?) allocs/op`)

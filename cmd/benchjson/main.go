@@ -22,7 +22,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -32,11 +35,13 @@ import (
 	"strconv"
 	"time"
 
+	"vegapunk/internal/cluster"
 	"vegapunk/internal/code"
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
 	"vegapunk/internal/gf2"
 	"vegapunk/internal/serve"
+	"vegapunk/internal/wire"
 )
 
 // pins is the benchmark set the artifact records: the per-family decode
@@ -54,6 +59,9 @@ var pins = []struct {
 	{"BenchmarkServiceDecode$", "./internal/serve"},
 	{"BenchmarkServiceDecodeBatch64$", "./internal/serve"},
 	{"BenchmarkServiceDecodeBatch64Serial$", "./internal/serve"},
+	{"BenchmarkWireAppendDecode$", "./internal/wire"},
+	{"BenchmarkWireParseResult$", "./internal/wire"},
+	{"BenchmarkRouterPick$", "./internal/cluster"},
 }
 
 // benchResult is one pinned benchmark measurement.
@@ -76,6 +84,21 @@ type serveLoad struct {
 	P99Ns    int64   `json:"p99_ns"`
 }
 
+// protoLoad is one protocol-comparison measurement: the same workload
+// driven over real loopback sockets through one of the serving paths —
+// JSON HTTP direct, binary wire direct, or binary wire via a
+// vegapunkrouter front end. Latencies are client-observed round trips,
+// so the rows are directly comparable.
+type protoLoad struct {
+	Proto    string  `json:"proto"` // "json-http", "binary", "binary-router"
+	Requests int     `json:"requests"`
+	Batch    int     `json:"batch"`
+	Clients  int     `json:"clients"`
+	QPS      float64 `json:"qps"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+}
+
 // artifact is the BENCH_<n>.json schema.
 type artifact struct {
 	Issue      int           `json:"issue"`
@@ -84,6 +107,7 @@ type artifact struct {
 	GOARCH     string        `json:"goarch"`
 	Benchmarks []benchResult `json:"benchmarks"`
 	ServeLoad  serveLoad     `json:"serve_load"`
+	ProtoLoads []protoLoad   `json:"proto_loads,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
@@ -102,16 +126,18 @@ func run(args []string) int {
 	requests := fs.Int("requests", 4096, "serving-load request count")
 	batch := fs.Int("batch", 64, "serving-load client batch size")
 	clients := fs.Int("clients", 4, "serving-load concurrent clients")
+	protoRequests := fs.Int("proto-requests", 1024, "protocol-comparison request count per path")
+	protoBatch := fs.Int("proto-batch", 8, "protocol-comparison syndromes per request")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *compare {
 		return runCompare(*dir, *tolerance)
 	}
-	return runMeasure(*dir, *issue, *benchtime, *requests, *batch, *clients)
+	return runMeasure(*dir, *issue, *benchtime, *requests, *batch, *clients, *protoRequests, *protoBatch)
 }
 
-func runMeasure(dir string, issue int, benchtime string, requests, batch, clients int) int {
+func runMeasure(dir string, issue int, benchtime string, requests, batch, clients, protoRequests, protoBatch int) int {
 	art := artifact{
 		Issue:     issue,
 		GoVersion: runtime.Version(),
@@ -134,6 +160,18 @@ func runMeasure(dir string, issue int, benchtime string, requests, batch, client
 		return 2
 	}
 	art.ServeLoad = load
+	fmt.Fprintf(os.Stderr, "proto loads: %d requests, batch %d, %d clients per path\n",
+		protoRequests, protoBatch, clients)
+	protoLoads, err := runProtoLoads(protoRequests, protoBatch, clients)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: proto loads: %v\n", err)
+		return 2
+	}
+	art.ProtoLoads = protoLoads
+	if j, b := protoByName(protoLoads, "json-http"), protoByName(protoLoads, "binary"); j != nil && b != nil {
+		fmt.Fprintf(os.Stderr, "binary vs json-http at equal load: %.2fx QPS, %.2fx p99\n",
+			b.QPS/j.QPS, float64(j.P99Ns)/float64(max64(b.P99Ns, 1)))
+	}
 
 	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", issue))
 	buf, err := json.MarshalIndent(art, "", "  ")
@@ -248,6 +286,245 @@ func runServeLoad(requests, batchSize, clients int) (serveLoad, error) {
 	}, nil
 }
 
+// runProtoLoads drives the identical workload over real loopback
+// sockets through the three serving paths — JSON HTTP direct to the
+// daemon, binary wire direct, and binary wire through a vegapunkrouter
+// relay over a single replica (so the router row isolates pure relay
+// overhead, not extra compute). One serve.Server backs all three runs.
+func runProtoLoads(requests, batchSize, clients int) ([]protoLoad, error) {
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		return nil, err
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	factory := func() core.Decoder { return core.NewBP(model, 30) }
+	srv := serve.NewServer(serve.Config{MaxBatch: batchSize, MaxInFlight: 4 * clients})
+	key := serve.ModelKey(c.Name, "BP", 0.01)
+	if _, err := srv.Register(key, model, "BP(30)", factory); err != nil {
+		return nil, err
+	}
+	httpL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	wireL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(httpL) }()     // returns on Shutdown
+	go func() { _ = srv.ServeWire(wireL) }() // returns on Shutdown
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx) // best-effort: measurement is done
+	}()
+
+	rt, err := cluster.New(cluster.Config{
+		Replicas:      []string{wireL.Addr().String()},
+		ProbeInterval: 50 * time.Millisecond,
+		PoolSize:      clients,
+	})
+	if err != nil {
+		return nil, err
+	}
+	routerL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = rt.Serve(routerL) }() // returns on Shutdown
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx) // best-effort: measurement is done
+	}()
+
+	syndromes := sampleSyndromes(model, requests*batchSize)
+	var out []protoLoad
+	for _, run := range []struct {
+		proto string
+		drive func() ([]int64, time.Duration, error)
+	}{
+		{"json-http", func() ([]int64, time.Duration, error) {
+			return driveJSON("http://"+httpL.Addr().String(), key, syndromes, requests, batchSize, clients)
+		}},
+		{"binary", func() ([]int64, time.Duration, error) {
+			return driveBinary(wireL.Addr().String(), key, syndromes, requests, batchSize, clients)
+		}},
+		{"binary-router", func() ([]int64, time.Duration, error) {
+			return driveBinary(routerL.Addr().String(), key, syndromes, requests, batchSize, clients)
+		}},
+	} {
+		lats, elapsed, err := run.drive()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", run.proto, err)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		out = append(out, protoLoad{
+			Proto:    run.proto,
+			Requests: requests,
+			Batch:    batchSize,
+			Clients:  clients,
+			QPS:      float64(requests) / elapsed.Seconds(),
+			P50Ns:    lats[len(lats)/2],
+			P99Ns:    lats[len(lats)*99/100],
+		})
+		fmt.Fprintf(os.Stderr, "  %-13s qps=%.0f p50=%s p99=%s\n", run.proto,
+			out[len(out)-1].QPS, time.Duration(out[len(out)-1].P50Ns), time.Duration(out[len(out)-1].P99Ns))
+	}
+	return out, nil
+}
+
+// driveJSON measures client-observed round trips for batch POSTs to
+// /v1/decode over persistent HTTP connections.
+func driveJSON(base, key string, syndromes []gf2.Vec, requests, batchSize, clients int) ([]int64, time.Duration, error) {
+	type jsonReq struct {
+		Model     string   `json:"model"`
+		Syndromes []string `json:"syndromes"`
+	}
+	bodies := make([][]byte, requests)
+	for i := range bodies {
+		req := jsonReq{Model: key, Syndromes: make([]string, batchSize)}
+		for j := 0; j < batchSize; j++ {
+			req.Syndromes[j] = syndromes[i*batchSize+j].String()
+		}
+		var err error
+		if bodies[i], err = json.Marshal(req); err != nil {
+			return nil, 0, err
+		}
+	}
+	client := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: clients},
+	}
+	// Warm connections and pools before timing.
+	if err := postJSON(client, base, bodies[0]); err != nil {
+		return nil, 0, err
+	}
+	lats := make([]int64, requests)
+	errs := make(chan error, clients)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		go func(cl int) {
+			for i := cl; i < requests; i += clients {
+				t0 := time.Now()
+				if err := postJSON(client, base, bodies[i]); err != nil {
+					errs <- err
+					return
+				}
+				lats[i] = time.Since(t0).Nanoseconds()
+			}
+			errs <- nil
+		}(cl)
+	}
+	for cl := 0; cl < clients; cl++ {
+		if err := <-errs; err != nil {
+			return nil, 0, err
+		}
+	}
+	return lats, time.Since(start), nil
+}
+
+func postJSON(client *http.Client, base string, body []byte) error {
+	resp, err := client.Post(base+"/v1/decode", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	_, cerr := io.Copy(io.Discard, resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/decode: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// driveBinary measures client-observed round trips for pipelined wire
+// frame batches on persistent connections (one per client goroutine).
+func driveBinary(addr, key string, syndromes []gf2.Vec, requests, batchSize, clients int) ([]int64, time.Duration, error) {
+	lats := make([]int64, requests)
+	errs := make(chan error, clients)
+	conns := make([]*wire.Client, clients)
+	for cl := range conns {
+		c, err := wire.Dial(addr, 2*time.Second, 30*time.Second)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer func() { _ = c.Close() }() // best-effort: measurement teardown
+		conns[cl] = c
+	}
+	// Warm connections, model bindings and pools before timing.
+	info, err := conns[0].Hello(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	var warm wire.Result
+	wire.SizeResult(&warm, info.NumMech, info.NumObs)
+	if _, err := conns[0].Decode(info.ID, 0, syndromes[0], &warm); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		go func(cl int) {
+			c := conns[cl]
+			info, err := c.Hello(key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var res wire.Result
+			wire.SizeResult(&res, info.NumMech, info.NumObs)
+			for i := cl; i < requests; i += clients {
+				t0 := time.Now()
+				for j := 0; j < batchSize; j++ {
+					c.QueueDecode(info.ID, uint64(i*batchSize+j), syndromes[i*batchSize+j])
+				}
+				if err := c.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for j := 0; j < batchSize; j++ {
+					if _, err := c.ReadResult(&res); err != nil {
+						errs <- err
+						return
+					}
+					if res.Status != wire.StatusOK {
+						errs <- fmt.Errorf("decode status %s", res.Status)
+						return
+					}
+				}
+				lats[i] = time.Since(t0).Nanoseconds()
+			}
+			errs <- nil
+		}(cl)
+	}
+	for cl := 0; cl < clients; cl++ {
+		if err := <-errs; err != nil {
+			return nil, 0, err
+		}
+	}
+	return lats, time.Since(start), nil
+}
+
+func protoByName(loads []protoLoad, proto string) *protoLoad {
+	for i := range loads {
+		if loads[i].Proto == proto {
+			return &loads[i]
+		}
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // sampleSyndromes draws n reproducible syndromes from the model.
 func sampleSyndromes(model *dem.Model, n int) []gf2.Vec {
 	rng := rand.New(rand.NewPCG(42, 7))
@@ -320,6 +597,17 @@ func runCompare(dir string, tolerance float64) int {
 		fmt.Fprintf(os.Stderr, "REGRESSION serve load: %.0f QPS -> %.0f QPS (-%.1f%%)\n",
 			o.QPS, n.QPS, 100*(1-n.QPS/o.QPS))
 		failed = true
+	}
+	for _, np := range newArt.ProtoLoads {
+		op := protoByName(oldArt.ProtoLoads, np.Proto)
+		if op == nil {
+			continue // new protocol path this PR; no baseline
+		}
+		if np.QPS < op.QPS*(1-tolerance) {
+			fmt.Fprintf(os.Stderr, "REGRESSION proto load %s: %.0f QPS -> %.0f QPS (-%.1f%%)\n",
+				np.Proto, op.QPS, np.QPS, 100*(1-np.QPS/op.QPS))
+			failed = true
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchjson: %s regressed past %s by more than %.0f%%\n",

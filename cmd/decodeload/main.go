@@ -1,5 +1,5 @@
 // Command decodeload is the load generator for vegapunkd: it samples
-// errors from the same noise model the daemon serves, posts the
+// errors from the same noise model the daemon serves, sends the
 // syndromes in batches over concurrent connections, checks the
 // predicted logical observables against the truth, and prints a
 // reproducible per-run summary (QPS, latency percentiles, logical
@@ -8,18 +8,30 @@
 //	decodeload -addr http://127.0.0.1:8471 -code "BB [[72,12,6]]" \
 //	    -decoder bp -p 0.001 -requests 200 -batch 8 -concurrency 4 -seed 1
 //
+// With -proto binary the same workload runs over the binary wire
+// protocol (vegapunkd -listen-wire) instead of JSON HTTP: -addr is then
+// a host:port, each request is one pipelined frame batch on a
+// persistent connection. With -router the target is a vegapunkrouter
+// front end (implies -proto binary) and the summary additionally counts
+// responses the router retried on a sibling replica.
+//
+//	decodeload -proto binary -addr 127.0.0.1:8473 ...
+//	decodeload -router 127.0.0.1:9471 ...
+//
 // Every sampled error is derived from (-seed, request index), so a
 // given flag set replays the identical workload regardless of
 // concurrency — future perf PRs can track the same benchmark.
 //
 // Failed requests are reported in separate terminal classes —
-// rejected_503 (saturation / circuit breaker), timeouts_504 (deadline
-// exceeded or budget shed), decoder_faults (5xx from a quarantined
-// decoder) and transport_errors (no daemon response at all). With
-// -chaos the run targets a `vegapunkd -chaos` daemon and succeeds as
-// long as every request reached a terminal outcome and at least one
-// decoded: rejections, sheds and faults are then the resilience
-// machinery working, not a failed run.
+// rejected_503 (saturation / circuit breaker / overload), timeouts_504
+// (deadline exceeded or budget shed), decoder_faults (quarantined
+// decoder or internal error) and transport_errors (no daemon response
+// at all). The wire statuses map onto the same classes: Overload →
+// rejected_503, Shed/Timeout → timeouts_504, DecoderFault/Internal →
+// decoder_faults. With -chaos the run targets a `vegapunkd -chaos`
+// daemon and succeeds as long as every request reached a terminal
+// outcome and at least one decoded: rejections, sheds and faults are
+// then the resilience machinery working, not a failed run.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +54,7 @@ import (
 	"vegapunk/internal/exp"
 	"vegapunk/internal/gf2"
 	"vegapunk/internal/serve"
+	"vegapunk/internal/wire"
 )
 
 type decodeRequest struct {
@@ -65,10 +79,34 @@ type decodeResponse struct {
 	Results []decodeResult `json:"results"`
 }
 
-// workItem is one pre-generated HTTP request with its ground truth.
+// workItem is one pre-generated request with its ground truth: the JSON
+// body for -proto json, the raw syndromes for -proto binary.
 type workItem struct {
 	body   []byte
+	syns   []gf2.Vec
 	actual []string // true observable flips per syndrome
+}
+
+// tally aggregates terminal outcomes across workers. Every request
+// lands in exactly one of ok (latencies), rejected503, timeout504,
+// decoderFault or transportErrs — the split tells a resilience run
+// apart from an outage (a rejection storm is the breaker working;
+// transport errors mean the daemon is gone).
+type tally struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	failures  int
+	syndromes int
+	degraded  int // syndromes decoded below full tier
+	retried   int // responses the router re-sent to a sibling replica
+
+	rejected503   int // capacity saturated, breaker open, overload
+	timeout504    int // server-side deadline exceeded or budget shed
+	decoderFault  int // quarantined decoder or internal server error
+	transportErrs int // client timeout, connection or parse failure
+
+	// Server-reported per-stage sums (ns) across all syndromes.
+	queueWaitNs, decodeNs, copyOutNs int64
 }
 
 func main() {
@@ -77,12 +115,14 @@ func main() {
 
 func run() int {
 	fs := flag.NewFlagSet("decodeload", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:8471", "daemon base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8471", "daemon base URL (json) or host:port (binary)")
+	proto := fs.String("proto", "json", "request protocol: json (HTTP /v1/decode) or binary (wire frames)")
+	router := fs.String("router", "", "vegapunkrouter wire address to load instead of a single daemon (implies -proto binary)")
 	codeName := fs.String("code", "BB [[72,12,6]]", "benchmark code name (must match the daemon)")
 	p := fs.Float64("p", 0.001, "physical error rate (must match the daemon)")
 	decoder := fs.String("decoder", "bp", "decoder flag name used at the daemon (derives the model key)")
 	modelKey := fs.String("model", "", "explicit model key (overrides -code/-decoder/-p derivation)")
-	requests := fs.Int("requests", 200, "number of HTTP requests to send")
+	requests := fs.Int("requests", 200, "number of requests to send")
 	batchSize := fs.Int("batch", 8, "syndromes per request")
 	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
 	seed := fs.Uint64("seed", 1, "reproducible workload seed")
@@ -93,6 +133,16 @@ func run() int {
 	}
 
 	logger := log.New(os.Stderr, "decodeload ", log.LstdFlags)
+
+	target := *addr
+	if *router != "" {
+		target = *router
+		*proto = "binary"
+	}
+	if *proto != "json" && *proto != "binary" {
+		logger.Printf("unknown -proto %q (want json or binary)", *proto)
+		return 2
+	}
 
 	b, ok := findBenchmark(*codeName)
 	if !ok {
@@ -116,10 +166,13 @@ func run() int {
 	for i := range items {
 		rng := rand.New(rand.NewPCG(*seed, uint64(i)))
 		req := decodeRequest{Model: key, Syndromes: make([]string, *batchSize)}
+		items[i].syns = make([]gf2.Vec, *batchSize)
 		items[i].actual = make([]string, *batchSize)
 		for j := 0; j < *batchSize; j++ {
 			model.SampleInto(e, rng)
-			req.Syndromes[j] = model.Syndrome(e).String()
+			syn := model.Syndrome(e)
+			items[i].syns[j] = syn
+			req.Syndromes[j] = syn.String()
 			items[i].actual[j] = model.Observables(e).String()
 		}
 		body, err := json.Marshal(req)
@@ -130,146 +183,267 @@ func run() int {
 		items[i].body = body
 	}
 
-	client := &http.Client{Timeout: *timeout}
 	var (
-		next      atomic.Int64
-		mu        sync.Mutex
-		latencies []time.Duration
-		failures  int
-		syndromes int
-		degraded  int // syndromes the daemon decoded below full tier
-		// Terminal failure classes. Every request lands in exactly one of
-		// ok (latencies), rejected503, timeout504, decoderFault5xx or
-		// transportErrs — the split tells a resilience run apart from an
-		// outage (a 503 storm is the breaker working; transport errors
-		// mean the daemon is gone).
-		rejected503     int // capacity saturated, breaker open, draining
-		timeout504      int // server-side deadline exceeded or budget shed
-		decoderFault5xx int // decoder fault surfaced as 5xx (quarantine path)
-		transportErrs   int // client timeout, connection or parse failure
-		// Server-reported per-stage sums (ns) across all syndromes.
-		queueWaitNs, decodeNs, copyOutNs int64
-		wg                               sync.WaitGroup
+		tl   tally
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	t0 := time.Now()
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if i >= int64(len(items)) {
-					return
-				}
-				item := &items[i]
-				start := time.Now()
-				resp, err := client.Post(*addr+"/v1/decode", "application/json", bytes.NewReader(item.body))
-				lat := time.Since(start)
-				var out decodeResponse
-				status := 0
-				bad := false
-				if err != nil {
-					bad = true
-				} else {
-					status = resp.StatusCode
-					raw, rerr := io.ReadAll(resp.Body)
-					cerr := resp.Body.Close()
-					if rerr != nil || cerr != nil || status != http.StatusOK || json.Unmarshal(raw, &out) != nil {
-						bad = true
-					}
-				}
-				mu.Lock()
-				switch {
-				case !bad:
-					latencies = append(latencies, lat)
-					for j, res := range out.Results {
-						syndromes++
-						queueWaitNs += res.QueueWaitNs
-						decodeNs += res.DecodeNs
-						copyOutNs += res.CopyOutNs
-						if res.DegradedTier != "" {
-							degraded++
-						}
-						if j < len(item.actual) && res.Observables != item.actual[j] {
-							failures++
-						}
-					}
-				case status == http.StatusServiceUnavailable:
-					rejected503++
-				case status == http.StatusGatewayTimeout:
-					timeout504++
-				case status >= 500:
-					decoderFault5xx++
-				default:
-					transportErrs++
-				}
-				mu.Unlock()
+			if *proto == "binary" {
+				binaryWorker(&tl, &next, items, target, key, *timeout, logger)
+			} else {
+				jsonWorker(&tl, &next, items, target, *timeout)
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	httpErrs := rejected503 + timeout504 + decoderFault5xx + transportErrs
-	if len(latencies) == 0 {
-		logger.Printf("no successful requests (rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d); is vegapunkd up at %s with model %s?",
-			rejected503, timeout504, decoderFault5xx, transportErrs, *addr, key)
+	reqErrs := tl.rejected503 + tl.timeout504 + tl.decoderFault + tl.transportErrs
+	if len(tl.latencies) == 0 {
+		logger.Printf("no successful requests (rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d); is the daemon up at %s with model %s?",
+			tl.rejected503, tl.timeout504, tl.decoderFault, tl.transportErrs, target, key)
 		return 1
 	}
 	// Nearest-rank percentiles over the full sorted sample set: the
 	// q-quantile is the smallest sample with at least ceil(q*n) samples
 	// at or below it (so p99 of 200 samples is sample 198, not an
 	// index truncated toward the median).
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(tl.latencies, func(i, j int) bool { return tl.latencies[i] < tl.latencies[j] })
 	pct := func(q float64) time.Duration {
-		idx := int(math.Ceil(q*float64(len(latencies)))) - 1
+		idx := int(math.Ceil(q*float64(len(tl.latencies)))) - 1
 		if idx < 0 {
 			idx = 0
 		}
-		if idx >= len(latencies) {
-			idx = len(latencies) - 1
+		if idx >= len(tl.latencies) {
+			idx = len(tl.latencies) - 1
 		}
-		return latencies[idx]
+		return tl.latencies[idx]
 	}
-	qps := float64(len(latencies)) / elapsed.Seconds()
-	sps := float64(syndromes) / elapsed.Seconds()
-	failRate := float64(failures) / float64(max(syndromes, 1))
+	qps := float64(len(tl.latencies)) / elapsed.Seconds()
+	sps := float64(tl.syndromes) / elapsed.Seconds()
+	failRate := float64(tl.failures) / float64(max(tl.syndromes, 1))
 	perSyn := func(sum int64) time.Duration {
-		return time.Duration(sum / int64(max(syndromes, 1))).Round(time.Microsecond)
+		return time.Duration(sum / int64(max(tl.syndromes, 1))).Round(time.Microsecond)
 	}
 
 	// The one-line summary is the trackable serving benchmark: keep the
 	// field set stable across PRs.
-	fmt.Printf("decodeload: model=%s seed=%d requests=%d batch=%d concurrency=%d "+
+	fmt.Printf("decodeload: model=%s proto=%s seed=%d requests=%d batch=%d concurrency=%d "+
 		"ok=%d http_errors=%d syndromes=%d elapsed=%s qps=%.1f syndromes_per_sec=%.1f "+
 		"p50=%s p99=%s max=%s logical_failures=%d failure_rate=%.3g\n",
-		key, *seed, *requests, *batchSize, *concurrency,
-		len(latencies), httpErrs, syndromes, elapsed.Round(time.Millisecond), qps, sps,
-		pct(0.50), pct(0.99), latencies[len(latencies)-1], failures, failRate)
+		key, *proto, *seed, *requests, *batchSize, *concurrency,
+		len(tl.latencies), reqErrs, tl.syndromes, elapsed.Round(time.Millisecond), qps, sps,
+		pct(0.50), pct(0.99), tl.latencies[len(tl.latencies)-1], tl.failures, failRate)
 	// Failure-class breakdown: how the daemon's resilience machinery
 	// resolved the requests that did not decode at full quality.
-	fmt.Printf("decodeload: classes rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d degraded_syndromes=%d\n",
-		rejected503, timeout504, decoderFault5xx, transportErrs, degraded)
+	fmt.Printf("decodeload: classes rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d degraded_syndromes=%d retried=%d\n",
+		tl.rejected503, tl.timeout504, tl.decoderFault, tl.transportErrs, tl.degraded, tl.retried)
 	// Server-side stage breakdown (mean per syndrome): where the latency
 	// budget actually goes — waiting in the micro-batch queue, the
 	// decoder call, or the pool-boundary copy-out.
 	fmt.Printf("decodeload: stages queue_wait_mean=%s decode_mean=%s copy_out_mean=%s\n",
-		perSyn(queueWaitNs), perSyn(decodeNs), perSyn(copyOutNs))
+		perSyn(tl.queueWaitNs), perSyn(tl.decodeNs), perSyn(tl.copyOutNs))
 	if *chaosMode {
 		// Chaos contract: shed, rejected and faulted requests are the
 		// resilience machinery doing its job; the run only fails if the
 		// daemon itself became unreachable or nothing at all succeeded
 		// (len(latencies) == 0 already returned above).
-		if transportErrs > 0 {
-			logger.Printf("chaos run saw %d transport errors: requests without a terminal daemon response", transportErrs)
+		if tl.transportErrs > 0 {
+			logger.Printf("chaos run saw %d transport errors: requests without a terminal daemon response", tl.transportErrs)
 			return 1
 		}
 		return 0
 	}
-	if httpErrs > 0 {
+	if reqErrs > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonWorker drains items over HTTP POST /v1/decode.
+func jsonWorker(tl *tally, next *atomic.Int64, items []workItem, addr string, timeout time.Duration) {
+	client := &http.Client{Timeout: timeout}
+	for {
+		i := next.Add(1) - 1
+		if i >= int64(len(items)) {
+			return
+		}
+		item := &items[i]
+		start := time.Now()
+		resp, err := client.Post(addr+"/v1/decode", "application/json", bytes.NewReader(item.body))
+		lat := time.Since(start)
+		var out decodeResponse
+		status := 0
+		bad := false
+		if err != nil {
+			bad = true
+		} else {
+			status = resp.StatusCode
+			raw, rerr := io.ReadAll(resp.Body)
+			cerr := resp.Body.Close()
+			if rerr != nil || cerr != nil || status != http.StatusOK || json.Unmarshal(raw, &out) != nil {
+				bad = true
+			}
+		}
+		tl.mu.Lock()
+		switch {
+		case !bad:
+			tl.latencies = append(tl.latencies, lat)
+			for j, res := range out.Results {
+				tl.syndromes++
+				tl.queueWaitNs += res.QueueWaitNs
+				tl.decodeNs += res.DecodeNs
+				tl.copyOutNs += res.CopyOutNs
+				if res.DegradedTier != "" {
+					tl.degraded++
+				}
+				if j < len(item.actual) && res.Observables != item.actual[j] {
+					tl.failures++
+				}
+			}
+		case status == http.StatusServiceUnavailable:
+			tl.rejected503++
+		case status == http.StatusGatewayTimeout:
+			tl.timeout504++
+		case status >= 500:
+			tl.decoderFault++
+		default:
+			tl.transportErrs++
+		}
+		tl.mu.Unlock()
+	}
+}
+
+// binaryWorker drains items over one persistent wire connection: each
+// request is a pipelined frame batch. A request counts as ok only when
+// every lane in the batch decoded; otherwise it lands in the class of
+// its first failed lane (Overload → rejected_503, Shed/Timeout →
+// timeouts_504, DecoderFault/Internal → decoder_faults). On transport
+// loss the worker reconnects once per item before failing it.
+func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key string, timeout time.Duration, logger *log.Logger) {
+	addr = strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
+	var (
+		c    *wire.Client
+		info wire.ModelInfo
+		res  wire.Result
+	)
+	connect := func() bool {
+		var err error
+		c, err = wire.Dial(addr, 2*time.Second, timeout)
+		if err != nil {
+			c = nil
+			return false
+		}
+		info, err = c.Hello(key)
+		if err != nil {
+			logger.Printf("hello %s: %v", key, err)
+			_ = c.Close() // best-effort: failed handshake
+			c = nil
+			return false
+		}
+		wire.SizeResult(&res, info.NumMech, info.NumObs)
+		return true
+	}
+	defer func() {
+		if c != nil {
+			_ = c.Close() // best-effort: load run is over
+		}
+	}()
+
+	for {
+		i := next.Add(1) - 1
+		if i >= int64(len(items)) {
+			return
+		}
+		item := &items[i]
+		if c == nil && !connect() {
+			tl.mu.Lock()
+			tl.transportErrs++
+			tl.mu.Unlock()
+			continue
+		}
+
+		start := time.Now()
+		for j, syn := range item.syns {
+			c.QueueDecode(info.ID, uint64(i)<<16|uint64(j), syn)
+		}
+		type laneOut struct {
+			status      wire.Status
+			flags       wire.Flags
+			tier        uint8
+			match       bool
+			queueWaitNs int64
+			decodeNs    int64
+			copyOutNs   int64
+		}
+		lanes := make([]laneOut, 0, len(item.syns))
+		transport := c.Flush() != nil
+		if !transport {
+			for j := range item.syns {
+				h, err := c.ReadResult(&res)
+				if err != nil || h.ReqID != uint64(i)<<16|uint64(j) {
+					transport = true
+					break
+				}
+				lo := laneOut{status: res.Status, flags: h.Flags, tier: res.Tier,
+					queueWaitNs: res.QueueWaitNs, decodeNs: res.DecodeNs, copyOutNs: res.CopyOutNs}
+				if res.Status == wire.StatusOK {
+					lo.match = res.Observables.String() == item.actual[j]
+				}
+				lanes = append(lanes, lo)
+			}
+		}
+		lat := time.Since(start)
+		if transport {
+			// The connection is in an unknown state: drop it and
+			// reconnect for the next item.
+			_ = c.Close() // best-effort: already failed
+			c = nil
+		}
+
+		tl.mu.Lock()
+		firstBad := wire.StatusOK
+		for _, lo := range lanes {
+			if lo.flags&wire.FlagRetried != 0 {
+				tl.retried++
+			}
+			if lo.status != wire.StatusOK && firstBad == wire.StatusOK {
+				firstBad = lo.status
+			}
+		}
+		switch {
+		case transport:
+			tl.transportErrs++
+		case firstBad == wire.StatusOK:
+			tl.latencies = append(tl.latencies, lat)
+			for _, lo := range lanes {
+				tl.syndromes++
+				tl.queueWaitNs += lo.queueWaitNs
+				tl.decodeNs += lo.decodeNs
+				tl.copyOutNs += lo.copyOutNs
+				if lo.tier > 0 {
+					tl.degraded++
+				}
+				if !lo.match {
+					tl.failures++
+				}
+			}
+		case firstBad == wire.StatusOverload:
+			tl.rejected503++
+		case firstBad == wire.StatusShed || firstBad == wire.StatusTimeout:
+			tl.timeout504++
+		case firstBad == wire.StatusDecoderFault || firstBad == wire.StatusInternal:
+			tl.decoderFault++
+		default:
+			tl.transportErrs++
+		}
+		tl.mu.Unlock()
+	}
 }
 
 func findBenchmark(name string) (exp.Benchmark, bool) {

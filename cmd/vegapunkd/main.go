@@ -13,6 +13,13 @@
 //	GET  /healthz          liveness
 //	GET  /debug/decodetrace  sampled decode spans as Chrome trace JSON
 //
+// With -listen-wire the daemon additionally serves the binary wire
+// protocol (internal/wire) on a second listener: length-prefixed frames
+// carrying raw syndrome/correction words over persistent connections,
+// the low-latency path used by vegapunkrouter and decodeload -proto
+// binary. Pipelined wire requests coalesce into the same micro-batches
+// as HTTP traffic.
+//
 // With -debug-addr a second localhost listener serves net/http/pprof
 // (/debug/pprof/...) plus the same decode-trace dump; with -slow-log
 // every request slower than -slow-threshold is appended to the given
@@ -59,6 +66,7 @@ func main() {
 func run() int {
 	fs := flag.NewFlagSet("vegapunkd", flag.ExitOnError)
 	addr := fs.String("addr", ":8471", "listen address")
+	wireAddr := fs.String("listen-wire", "", "optional binary wire-protocol listener (e.g. :8473); the low-latency path used by vegapunkrouter and decodeload -proto binary")
 	codeName := fs.String("code", "BB [[72,12,6]]", "benchmark code name (see 'vegapunk codes')")
 	p := fs.Float64("p", 0.001, "physical error rate of the served noise model")
 	decoders := fs.String("decoders", "vegapunk,bp", "comma-separated decoders to register: vegapunk, bp, bp+osd, bp+lsd, bpgd")
@@ -205,11 +213,23 @@ func run() int {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
 	logger.Printf("listening on %s", *addr)
+	var wireErrCh chan error
+	if *wireAddr != "" {
+		wireErrCh = make(chan error, 1)
+		go func() { wireErrCh <- srv.ListenAndServeWire(*wireAddr) }()
+		logger.Printf("wire protocol on %s", *wireAddr)
+	}
 
 	select {
 	case err := <-errCh:
 		if err != nil {
 			logger.Printf("serve: %v", err)
+			return 1
+		}
+		return 0
+	case err := <-wireErrCh:
+		if err != nil {
+			logger.Printf("serve wire: %v", err)
 			return 1
 		}
 		return 0
@@ -225,6 +245,12 @@ func run() int {
 	if err := <-errCh; err != nil {
 		logger.Printf("serve: %v", err)
 		return 1
+	}
+	if wireErrCh != nil {
+		if err := <-wireErrCh; err != nil {
+			logger.Printf("serve wire: %v", err)
+			return 1
+		}
 	}
 	logger.Printf("drained, bye")
 	return 0

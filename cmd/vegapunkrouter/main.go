@@ -1,0 +1,111 @@
+// Command vegapunkrouter is the sharded-serving front end: it accepts
+// binary wire-protocol connections (internal/wire) and routes decode
+// requests across a set of vegapunkd replicas by rendezvous-hashing
+// each model key, so every key pins to one replica and its
+// micro-batches stay dense.
+//
+//	vegapunkrouter -listen :9471 -admin 127.0.0.1:9472 \
+//	    -replicas 127.0.0.1:8473,127.0.0.1:8474
+//
+// Replica health is tracked passively from response flags (breaker
+// open, degraded, draining) and actively by ping probes; requests that
+// a replica sheds or fast-fails are retried once on the next-best
+// healthy sibling with the retry flagged in the response. The admin
+// listener serves /metrics (per-replica health, retries, failovers,
+// open connections) and /healthz.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight batches finish, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vegapunk/internal/cluster"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("vegapunkrouter", flag.ExitOnError)
+	listen := fs.String("listen", ":9471", "client-facing wire-protocol listen address")
+	admin := fs.String("admin", "", "optional admin HTTP listener for /metrics and /healthz (e.g. 127.0.0.1:9472)")
+	replicas := fs.String("replicas", "", "comma-separated wire-protocol replica addresses (required)")
+	dialTimeout := fs.Duration("dial-timeout", 2*time.Second, "backend dial timeout")
+	ioTimeout := fs.Duration("io-timeout", 10*time.Second, "backend read/write timeout")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "active health-probe period")
+	poolSize := fs.Int("pool", 4, "idle backend connections kept per replica")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "vegapunkrouter ", log.LstdFlags|log.Lmicroseconds)
+
+	var addrs []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	rt, err := cluster.New(cluster.Config{
+		Replicas:      addrs,
+		DialTimeout:   *dialTimeout,
+		IOTimeout:     *ioTimeout,
+		ProbeInterval: *probeInterval,
+		PoolSize:      *poolSize,
+	})
+	if err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	logger.Printf("routing across %d replicas: %s", len(addrs), strings.Join(addrs, ", "))
+
+	if *admin != "" {
+		adm := &http.Server{Addr: *admin, Handler: rt.Handler()}
+		go func() {
+			if err := adm.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("admin listener: %v", err)
+			}
+		}()
+		logger.Printf("admin endpoints (metrics, healthz) on %s", *admin)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- rt.ListenAndServe(*listen) }()
+	logger.Printf("listening on %s", *listen)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			logger.Printf("serve: %v", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+	logger.Printf("signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		return 1
+	}
+	if err := <-errCh; err != nil {
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+	logger.Printf("drained, bye")
+	return 0
+}

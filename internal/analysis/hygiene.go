@@ -136,14 +136,20 @@ func containsLockState(t types.Type, seen map[types.Type]bool) bool {
 }
 
 // errUncheckedScope reports whether a package directory is swept for
-// dropped error returns: every cmd/ binary, plus the serving and
-// fault-injection layers — a dropped error there silently weakens the
-// failure accounting the resilience machinery depends on.
+// dropped error returns: every cmd/ binary, plus the serving,
+// fault-injection, wire-protocol and cluster-routing layers — a dropped
+// error there silently weakens the failure accounting the resilience
+// machinery depends on (a swallowed wire or backend error would turn a
+// terminal outcome into a hang).
 func errUncheckedScope(rel string) bool {
 	if rel == "cmd" || strings.HasPrefix(rel, "cmd/") {
 		return true
 	}
-	return rel == "internal/serve" || rel == "internal/faultinject"
+	switch rel {
+	case "internal/serve", "internal/faultinject", "internal/wire", "internal/cluster":
+		return true
+	}
+	return false
 }
 
 // checkErrUnchecked flags dropped error returns in the packages named

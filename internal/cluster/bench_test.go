@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkRouterPick pins the rendezvous shard selector at 0
+// allocs/op (cmd/allocgate): it runs once per forwarded batch and per
+// retry, on the router's hot path.
+func BenchmarkRouterPick(b *testing.B) {
+	rt, err := New(Config{
+		Replicas: []string{
+			"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000", "10.0.0.4:9000",
+			"10.0.0.5:9000", "10.0.0.6:9000", "10.0.0.7:9000", "10.0.0.8:9000",
+		},
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	}()
+	kh := hash64("bench/model/key")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink *replica
+	for i := 0; i < b.N; i++ {
+		sink = rt.pick(kh^uint64(i), nil)
+	}
+	_ = sink
+}

@@ -1,0 +1,436 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"vegapunk/internal/wire"
+)
+
+// maxRouterPipeline bounds how many pipelined decode frames one client
+// read coalesces into a single forwarded batch.
+const maxRouterPipeline = 64
+
+// feWriteTimeout bounds one client-response write.
+const feWriteTimeout = time.Minute
+
+// feBinding is a client-connection-scoped model binding: the key, its
+// shard hash, the model dimensions learned from the first backend
+// hello, and the per-replica backend model-id cache. A cached id is
+// valid only for the backend-connection generation it was resolved on
+// (model ids are connection-scoped on the wire).
+type feBinding struct {
+	key     string
+	keyHash uint64
+	det     int
+	mech    int
+	nobs    int
+	beID    []int32
+	beGen   []uint64
+}
+
+// feLane tracks one client decode request through forward/retry to its
+// single terminal response.
+type feLane struct {
+	reqID uint64
+	syn   []byte // copied request payload: survives reader reuse, enables retry
+	op    wire.Op
+	flags wire.Flags
+	resp  []byte // terminal response payload
+	done  bool
+}
+
+// feConn serves one client connection: it owns one backend connection
+// per replica (lazily acquired from the replica pools) and relays
+// frames without re-parsing vector payloads.
+type feConn struct {
+	rt       *Router
+	conn     net.Conn
+	rd       *wire.Reader
+	wbuf     []byte
+	bindings []*feBinding
+	bconns   []*wire.Client
+	bgen     []uint64 // bumped when bconns[i] is replaced; invalidates cached model ids
+	lanes    []feLane
+}
+
+func newFEConn(rt *Router, conn net.Conn) *feConn {
+	return &feConn{
+		rt:     rt,
+		conn:   conn,
+		rd:     wire.NewReader(conn),
+		bconns: make([]*wire.Client, len(rt.replicas)),
+		bgen:   make([]uint64, len(rt.replicas)),
+	}
+}
+
+// flags carries the router's own health bits on frames it originates.
+func (f *feConn) routerFlags() wire.Flags {
+	if f.rt.draining.Load() {
+		return wire.FlagDraining
+	}
+	return 0
+}
+
+// run is the connection loop; mirrors the replica-side handler.
+func (f *feConn) run() {
+	defer func() {
+		_ = f.conn.Close() // best-effort: the peer may already be gone
+		for i, c := range f.bconns {
+			if c != nil {
+				f.rt.replicas[i].release(c, true)
+				f.bconns[i] = nil
+			}
+		}
+	}()
+	var (
+		h       wire.Header
+		payload []byte
+		err     error
+		pending bool
+	)
+	for {
+		if !pending {
+			h, payload, err = f.rd.ReadFrame()
+			if err != nil {
+				if isWireProtoErr(err) {
+					f.rt.protoErrors.Add(1)
+					f.wbuf = wire.AppendError(f.wbuf[:0], f.routerFlags(), 0,
+						wire.StatusBadRequest, err.Error())
+					_ = f.write() // best-effort: the conn is terminal either way
+				}
+				return
+			}
+		}
+		pending = false
+		switch h.Op {
+		case wire.OpHello:
+			if err := f.hello(h, payload); err != nil {
+				return
+			}
+		case wire.OpPing:
+			f.wbuf = wire.AppendPong(f.wbuf[:0], f.routerFlags(), h.ReqID)
+			if err := f.write(); err != nil {
+				return
+			}
+		case wire.OpDecode:
+			h, payload, pending, err = f.decodeBatch(h, payload)
+			if err != nil {
+				return
+			}
+		default:
+			f.rt.protoErrors.Add(1)
+			f.wbuf = wire.AppendError(f.wbuf[:0], f.routerFlags(), h.ReqID,
+				wire.StatusBadRequest, "unexpected opcode")
+			_ = f.write() // best-effort: closing after protocol error
+			return
+		}
+	}
+}
+
+// hello resolves a model key through a backend replica: the client's
+// id is connection-scoped to the client, the backend id to the backend
+// connection; both are cached on the binding.
+func (f *feConn) hello(h wire.Header, payload []byte) error {
+	key := string(payload)
+	b := &feBinding{
+		key:     key,
+		keyHash: hash64(key),
+		beID:    make([]int32, len(f.rt.replicas)),
+		beGen:   make([]uint64, len(f.rt.replicas)),
+	}
+	for i := range b.beID {
+		b.beID[i] = -1
+	}
+
+	rep := f.rt.pick(b.keyHash, nil)
+	if rep == nil {
+		f.rt.noReplica.Add(1)
+		f.wbuf = wire.AppendError(f.wbuf[:0], f.routerFlags(), h.ReqID,
+			wire.StatusOverload, "no usable replica")
+		return f.write()
+	}
+	_, err := f.backend(b, rep)
+	if err != nil {
+		// One retry on the next-best sibling, mirroring decode.
+		if sib := f.rt.pick(b.keyHash, rep); sib != nil {
+			f.rt.retries.Add(1)
+			_, err = f.backend(b, sib)
+		}
+	}
+	if err != nil {
+		var se *wire.StatusError
+		if errors.As(err, &se) {
+			f.wbuf = wire.AppendError(f.wbuf[:0], f.routerFlags(), h.ReqID, se.Status, se.Msg)
+		} else {
+			f.rt.noReplica.Add(1)
+			f.wbuf = wire.AppendError(f.wbuf[:0], f.routerFlags(), h.ReqID,
+				wire.StatusOverload, "no usable replica")
+		}
+		return f.write()
+	}
+	id := uint16(len(f.bindings))
+	f.bindings = append(f.bindings, b)
+	f.wbuf = wire.AppendHelloAck(f.wbuf[:0], f.routerFlags(), id, h.ReqID, b.det, b.mech, b.nobs)
+	return f.write()
+}
+
+// backend returns a live backend connection to rep with the binding's
+// model id resolved on it, dialing and helloing as needed.
+func (f *feConn) backend(b *feBinding, rep *replica) (*wire.Client, error) {
+	i := rep.idx
+	c := f.bconns[i]
+	if c == nil {
+		var err error
+		c, err = rep.acquire(&f.rt.cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.bconns[i] = c
+		f.bgen[i]++
+	}
+	if b.beID[i] < 0 || b.beGen[i] != f.bgen[i] {
+		info, err := c.Hello(b.key)
+		if err != nil {
+			var se *wire.StatusError
+			if errors.As(err, &se) {
+				// Request-level refusal (config skew): the connection is
+				// healthy, only this key is unresolvable here.
+				return nil, err
+			}
+			f.dropBackend(rep)
+			return nil, err
+		}
+		b.beID[i] = int32(info.ID)
+		b.beGen[i] = f.bgen[i]
+		if b.mech == 0 && b.nobs == 0 {
+			b.det, b.mech, b.nobs = info.NumDet, info.NumMech, info.NumObs
+		}
+	}
+	return c, nil
+}
+
+// dropBackend discards the connection to rep after a transport failure
+// and demotes the replica.
+func (f *feConn) dropBackend(rep *replica) {
+	i := rep.idx
+	if c := f.bconns[i]; c != nil {
+		rep.release(c, false)
+		f.bconns[i] = nil
+	}
+	rep.markDown()
+}
+
+// decodeBatch gathers the run of pipelined decode frames for one
+// binding, forwards them to the rendezvous winner, retries undone
+// lanes once on the next-best sibling, and answers every lane with
+// exactly one terminal response in arrival order.
+//
+//vegapunk:hotpath
+func (f *feConn) decodeBatch(h wire.Header, payload []byte) (nh wire.Header, np []byte, pending bool, err error) {
+	clientID := h.ModelID
+	if int(clientID) >= len(f.bindings) {
+		f.wbuf = wire.AppendError(f.wbuf[:0], f.routerFlags(), h.ReqID, //vegapunk:allow(alloc) error path: unknown model id
+			wire.StatusUnknownModel, "model id not resolved on this connection") //vegapunk:allow(alloc) error path
+		return wire.Header{}, nil, false, f.write()
+	}
+	b := f.bindings[clientID]
+
+	// Gather the pipelined run, copying payloads out of the reader.
+	var readErr error
+	k := 0
+	for {
+		f.growLanes(k + 1)
+		ln := &f.lanes[k]
+		ln.reqID = h.ReqID
+		ln.syn = append(ln.syn[:0], payload...) //vegapunk:allow(alloc) lane scratch grows to pipeline depth once per connection
+		ln.done = false
+		k++
+		if k >= maxRouterPipeline || !f.rd.FrameBuffered() {
+			break
+		}
+		h, payload, readErr = f.rd.ReadFrame()
+		if readErr != nil {
+			break
+		}
+		if h.Op != wire.OpDecode || h.ModelID != clientID {
+			pending = true
+			break
+		}
+	}
+	lanes := f.lanes[:k]
+
+	// First attempt on the rendezvous winner, then one retry of
+	// whatever is still undone (transport loss or retryable status) on
+	// the next-best sibling.
+	first := f.rt.pick(b.keyHash, nil)
+	if first != nil {
+		f.forward(b, first, lanes, false)
+	}
+	if undone := countUndone(lanes); undone > 0 {
+		if sib := f.rt.pick(b.keyHash, first); sib != nil {
+			f.rt.retries.Add(uint64(undone))
+			f.forward(b, sib, lanes, true)
+		} else if first == nil {
+			f.rt.noReplica.Add(uint64(undone))
+		}
+	}
+	for i := range lanes {
+		ln := &lanes[i]
+		if !ln.done {
+			ln.op = wire.OpError
+			ln.flags = f.routerFlags()
+			ln.resp = appendErrPayload(ln.resp[:0], wire.StatusOverload, "no usable replica") //vegapunk:allow(alloc) error path
+			ln.done = true
+		}
+	}
+
+	// Respond in arrival order, one write.
+	f.wbuf = f.wbuf[:0]
+	for i := range lanes {
+		ln := &lanes[i]
+		f.wbuf = wire.AppendFrame(f.wbuf, ln.op, ln.flags, clientID, ln.reqID, ln.resp)
+	}
+	if werr := f.write(); werr != nil {
+		return wire.Header{}, nil, false, werr
+	}
+	if readErr != nil {
+		if isWireProtoErr(readErr) {
+			f.rt.protoErrors.Add(1)
+		}
+		return wire.Header{}, nil, false, readErr
+	}
+	return h, payload, pending, nil
+}
+
+// forward sends every undone lane to rep and records terminal
+// responses. Lanes answered with a retryable status stay undone unless
+// this is already the retry attempt; a transport failure leaves all
+// unanswered lanes undone and demotes the replica.
+//
+//vegapunk:hotpath
+func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried bool) {
+	c, err := f.backend(b, rep)
+	if err != nil {
+		var se *wire.StatusError
+		if errors.As(err, &se) {
+			// The replica refused the key itself: terminal per lane.
+			for i := range lanes {
+				ln := &lanes[i]
+				if ln.done {
+					continue
+				}
+				ln.op = wire.OpError
+				ln.flags = f.routerFlags()
+				if retried {
+					ln.flags |= wire.FlagRetried
+				}
+				ln.resp = appendErrPayload(ln.resp[:0], se.Status, se.Msg) //vegapunk:allow(alloc) error path
+				ln.done = true
+			}
+		}
+		return
+	}
+	beID := uint16(b.beID[rep.idx])
+	n := 0
+	for i := range lanes {
+		if lanes[i].done {
+			continue
+		}
+		c.QueueFrame(wire.OpDecode, 0, beID, lanes[i].reqID, lanes[i].syn)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if err := c.Flush(); err != nil {
+		f.dropBackend(rep)
+		return
+	}
+	// Responses arrive in request order over the undone lanes.
+	cursor := 0
+	for resp := 0; resp < n; resp++ {
+		rh, rp, rerr := c.ReadFrame()
+		if rerr != nil {
+			f.dropBackend(rep)
+			return
+		}
+		for cursor < len(lanes) && lanes[cursor].done {
+			cursor++
+		}
+		if cursor >= len(lanes) || rh.ReqID != lanes[cursor].reqID ||
+			(rh.Op != wire.OpResult && rh.Op != wire.OpError) {
+			f.rt.protoErrors.Add(1)
+			f.dropBackend(rep)
+			return
+		}
+		status, perr := wire.PeekStatus(rp)
+		if perr != nil {
+			f.rt.protoErrors.Add(1)
+			f.dropBackend(rep)
+			return
+		}
+		rep.observeFlags(rh.Flags)
+		ln := &lanes[cursor]
+		cursor++
+		if status.Retryable() && !retried {
+			continue // stays undone; the sibling attempt re-sends it
+		}
+		ln.op = rh.Op
+		ln.flags = rh.Flags
+		if retried {
+			ln.flags |= wire.FlagRetried
+		}
+		ln.resp = append(ln.resp[:0], rp...) //vegapunk:allow(alloc) lane scratch grows to the response size once per connection
+		ln.done = true
+		rep.decodes.Add(1)
+	}
+}
+
+// growLanes sizes the lane scratch for at least n lanes.
+func (f *feConn) growLanes(n int) {
+	for len(f.lanes) < n {
+		f.lanes = append(f.lanes, feLane{}) //vegapunk:allow(alloc) lane scratch grows to pipeline depth once per connection
+	}
+}
+
+// countUndone reports how many lanes still lack a terminal response.
+//
+//vegapunk:hotpath
+func countUndone(lanes []feLane) int {
+	n := 0
+	for i := range lanes {
+		if !lanes[i].done {
+			n++
+		}
+	}
+	return n
+}
+
+// appendErrPayload builds an OpError payload (status byte + message).
+func appendErrPayload(buf []byte, status wire.Status, msg string) []byte {
+	buf = append(buf, byte(status))
+	return append(buf, msg...)
+}
+
+// write flushes the response buffer in one conn write.
+//
+//vegapunk:hotpath
+func (f *feConn) write() error {
+	if len(f.wbuf) == 0 {
+		return nil
+	}
+	if err := f.conn.SetWriteDeadline(time.Now().Add(feWriteTimeout)); err != nil { //vegapunk:allow(time) write deadline needs wall clock, once per flush
+		return err
+	}
+	_, err := f.conn.Write(f.wbuf)
+	return err
+}
+
+// isWireProtoErr reports frame-level protocol violations (as opposed
+// to ordinary connection teardown).
+func isWireProtoErr(err error) bool {
+	return errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrBadVersion) ||
+		errors.Is(err, wire.ErrOversize) || errors.Is(err, wire.ErrTruncated)
+}

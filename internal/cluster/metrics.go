@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"vegapunk/internal/obs"
+)
+
+// replicaLabels renders a replica's label set.
+func replicaLabels(rep *replica) string { return fmt.Sprintf("replica=%q", rep.addr) }
+
+// repCounterFam renders one per-replica counter family.
+func (r *Router) repCounterFam(w io.Writer, name, help string, get func(*replica) uint64) {
+	obs.WriteHeader(w, name, help, "counter")
+	for _, rep := range r.replicas {
+		obs.WriteCounterSample(w, name, replicaLabels(rep), get(rep))
+	}
+}
+
+// repGaugeFam renders one per-replica gauge family.
+func (r *Router) repGaugeFam(w io.Writer, name, help string, get func(*replica) int64) {
+	obs.WriteHeader(w, name, help, "gauge")
+	for _, rep := range r.replicas {
+		obs.WriteGaugeSample(w, name, replicaLabels(rep), get(rep))
+	}
+}
+
+// writeMetrics renders the router's exposition (Prometheus text
+// format, obs.LintExposition-clean).
+func (r *Router) writeMetrics(w io.Writer) {
+	obs.WriteHeader(w, "vegapunk_router_connections_total", "Client wire connections accepted.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_connections_total", "", r.connsTotal.Load())
+	obs.WriteHeader(w, "vegapunk_router_open_connections", "Client wire connections currently open.", "gauge")
+	obs.WriteGaugeSample(w, "vegapunk_router_open_connections", "", r.connsOpen.Load())
+	obs.WriteHeader(w, "vegapunk_router_retries_total", "Requests re-sent to a sibling replica after a shed, overload or transport failure.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_retries_total", "", r.retries.Load())
+	obs.WriteHeader(w, "vegapunk_router_no_replica_total", "Requests failed because no usable replica remained.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_no_replica_total", "", r.noReplica.Load())
+	obs.WriteHeader(w, "vegapunk_router_protocol_errors_total", "Malformed or out-of-protocol frames on either side.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_protocol_errors_total", "", r.protoErrors.Load())
+	obs.WriteHeader(w, "vegapunk_router_draining", "Whether the router is draining (1) or serving (0).", "gauge")
+	drain := int64(0)
+	if r.draining.Load() {
+		drain = 1
+	}
+	obs.WriteGaugeSample(w, "vegapunk_router_draining", "", drain)
+
+	r.repGaugeFam(w, "vegapunk_router_replica_health_state", "Replica health as routed (0 down, 1 draining, 2 healthy).",
+		func(rep *replica) int64 { return int64(rep.state.Load()) })
+	r.repCounterFam(w, "vegapunk_router_replica_decodes_total", "Decode responses relayed from this replica.",
+		func(rep *replica) uint64 { return rep.decodes.Load() })
+	r.repCounterFam(w, "vegapunk_router_replica_failovers_total", "Times this replica was demoted to down after a failure.",
+		func(rep *replica) uint64 { return rep.failovers.Load() })
+	r.repCounterFam(w, "vegapunk_router_replica_dial_errors_total", "Failed dials to this replica.",
+		func(rep *replica) uint64 { return rep.dialErrors.Load() })
+	r.repGaugeFam(w, "vegapunk_router_replica_open_connections", "Backend wire connections open to this replica.",
+		func(rep *replica) int64 { return rep.open.Load() })
+}
+
+// Handler returns the admin surface: /metrics and /healthz.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		usable := 0
+		for _, rep := range r.replicas {
+			if State(rep.state.Load()) != StateDown {
+				usable++
+			}
+		}
+		if usable == 0 || r.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "usable_replicas %d/%d\n", usable, len(r.replicas))
+	})
+	return mux
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vegapunk/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestRouterMetricsGolden pins the router's zero-traffic /metrics
+// exposition: family set, HELP/TYPE text and label rendering are part
+// of the scrape contract. Run with -update after deliberate schema
+// changes.
+func TestRouterMetricsGolden(t *testing.T) {
+	rt, err := New(Config{
+		Replicas:      []string{"10.0.0.1:9000", "10.0.0.2:9000"},
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = rt.Shutdown(ctx)
+	}()
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: status %d", rec.Code)
+	}
+	got := rec.Body.String()
+
+	if problems := obs.LintExposition(strings.NewReader(got)); len(problems) > 0 {
+		t.Errorf("exposition lint violations:\n  %s", strings.Join(problems, "\n  "))
+	}
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics exposition drifted from testdata/metrics.golden; run with -update if deliberate.\ngot:\n%s", got)
+	}
+}

@@ -1,0 +1,433 @@
+// Package cluster is the sharded serving tier: a front-end router that
+// speaks the binary wire protocol (internal/wire) to clients and fans
+// requests out across replica vegapunkd processes. Model keys shard by
+// rendezvous (highest-random-weight) hashing, replica health is tracked
+// passively from response flags and actively by ping probes, and
+// shed/overload outcomes get a single retry on the next-best healthy
+// sibling so one slow or dying replica does not surface to clients.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vegapunk/internal/obs"
+	"vegapunk/internal/wire"
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// Replicas are the wire-protocol addresses of the backend
+	// vegapunkd processes. At least one is required.
+	Replicas []string
+	// DialTimeout bounds one backend dial (default 2s).
+	DialTimeout time.Duration
+	// IOTimeout bounds every backend read/write (default 10s).
+	IOTimeout time.Duration
+	// ProbeInterval is the active health-probe period (default 250ms).
+	ProbeInterval time.Duration
+	// PoolSize is the idle backend connections kept per replica
+	// (default 4).
+	PoolSize int
+	// RedialBackoff is the initial wait after a failed dial; it doubles
+	// per consecutive failure up to MaxRedialBackoff (defaults 100ms
+	// and 5s).
+	RedialBackoff    time.Duration
+	MaxRedialBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 10 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 100 * time.Millisecond
+	}
+	if c.MaxRedialBackoff <= 0 {
+		c.MaxRedialBackoff = 5 * time.Second
+	}
+	return c
+}
+
+// State is a replica's health as the router sees it. The ordering is
+// load-bearing: routing prefers the numerically highest state.
+type State int32
+
+const (
+	// StateDown: dial or transport failure; excluded from routing until
+	// a probe succeeds.
+	StateDown State = iota
+	// StateDraining: the replica answered with wire.FlagDraining;
+	// routed to only when no healthy replica remains.
+	StateDraining
+	// StateHealthy: full routing weight.
+	StateHealthy
+)
+
+func (s State) String() string {
+	switch s {
+	case StateDown:
+		return "down"
+	case StateDraining:
+		return "draining"
+	case StateHealthy:
+		return "healthy"
+	}
+	return "invalid"
+}
+
+// errBackoff gates redials while a replica's backoff window is open.
+var errBackoff = errors.New("cluster: replica dial backoff open")
+
+// replica is one backend address: its health state, idle-connection
+// pool, dial backoff and per-replica counters.
+type replica struct {
+	addr  string
+	idx   int
+	hash  uint64
+	state atomic.Int32
+	idle  chan *wire.Client
+	// nextDial gates redials: no dial before this obs tick.
+	nextDial  atomic.Int64
+	backoffNs atomic.Int64
+
+	decodes    obs.Counter
+	failovers  obs.Counter
+	dialErrors obs.Counter
+	open       obs.Gauge
+}
+
+// setState transitions the replica, counting Healthy/Draining→Down
+// transitions as failovers.
+func (r *replica) setState(s State) {
+	old := State(r.state.Swap(int32(s)))
+	if s == StateDown && old != StateDown {
+		r.failovers.Add(1)
+	}
+}
+
+// markDown records a transport failure: state down, idle pool drained.
+func (r *replica) markDown() {
+	r.setState(StateDown)
+	for {
+		select {
+		case c := <-r.idle:
+			_ = c.Close() // best-effort: the transport already failed
+			r.open.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// acquire returns a pooled backend connection, dialing one if the
+// backoff window allows.
+func (r *replica) acquire(cfg *Config) (*wire.Client, error) {
+	select {
+	case c := <-r.idle:
+		return c, nil
+	default:
+	}
+	now := obs.Tick()
+	if now < r.nextDial.Load() {
+		return nil, errBackoff
+	}
+	c, err := wire.Dial(r.addr, cfg.DialTimeout, cfg.IOTimeout)
+	if err != nil {
+		r.dialErrors.Add(1)
+		bo := r.backoffNs.Load()
+		if bo <= 0 {
+			bo = int64(cfg.RedialBackoff)
+		} else if bo < int64(cfg.MaxRedialBackoff) {
+			bo *= 2
+			if bo > int64(cfg.MaxRedialBackoff) {
+				bo = int64(cfg.MaxRedialBackoff)
+			}
+		}
+		r.backoffNs.Store(bo)
+		r.nextDial.Store(now + bo)
+		r.markDown()
+		return nil, err
+	}
+	r.backoffNs.Store(0)
+	r.open.Add(1)
+	return c, nil
+}
+
+// release returns a live connection to the idle pool, or closes it.
+func (r *replica) release(c *wire.Client, alive bool) {
+	if c == nil {
+		return
+	}
+	if alive && State(r.state.Load()) != StateDown {
+		select {
+		case r.idle <- c:
+			return
+		default:
+		}
+	}
+	_ = c.Close() // best-effort: surplus or dead connection
+	r.open.Add(-1)
+}
+
+// Router is the front end: it accepts wire-protocol client connections
+// and shards their model keys across the replica set.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+
+	mu       sync.Mutex
+	ls       []net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+
+	connsTotal  obs.Counter
+	connsOpen   obs.Gauge
+	retries     obs.Counter
+	noReplica   obs.Counter
+	protoErrors obs.Counter
+}
+
+// New builds a router over the replica set and starts its health-probe
+// loop. Replicas start optimistically healthy; the first failed dial or
+// transport error demotes them.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("cluster: at least one replica address required")
+	}
+	r := &Router{
+		cfg:       cfg,
+		conns:     map[net.Conn]struct{}{},
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for i, addr := range cfg.Replicas {
+		rep := &replica{
+			addr: addr,
+			idx:  i,
+			hash: hash64(addr),
+			idle: make(chan *wire.Client, cfg.PoolSize),
+		}
+		rep.state.Store(int32(StateHealthy))
+		r.replicas = append(r.replicas, rep)
+	}
+	go r.probeLoop()
+	return r, nil
+}
+
+// hash64 is FNV-1a, the shard hash for replica addresses and model
+// keys.
+//
+//vegapunk:hotpath
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the rendezvous score finalizer (splitmix64 tail): replica
+// hash and key hash combine into a per-pair score and the highest
+// scoring usable replica wins, so each key pins to one replica and a
+// membership change only remaps the keys of the lost replica.
+//
+//vegapunk:hotpath
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// pick returns the rendezvous winner for keyHash among usable replicas
+// (healthy preferred over draining, down excluded), skipping exclude —
+// the retry sibling selector.
+//
+//vegapunk:hotpath
+func (r *Router) pick(keyHash uint64, exclude *replica) *replica {
+	var best *replica
+	var bestScore uint64
+	bestState := StateDown
+	for _, rep := range r.replicas {
+		if rep == exclude {
+			continue
+		}
+		st := State(rep.state.Load())
+		if st == StateDown {
+			continue
+		}
+		score := mix64(rep.hash ^ keyHash)
+		if best == nil || st > bestState || (st == bestState && score > bestScore) {
+			best, bestScore, bestState = rep, score, st
+		}
+	}
+	return best
+}
+
+// probeLoop actively pings every replica each ProbeInterval: the rejoin
+// path for down and drained replicas.
+func (r *Router) probeLoop() {
+	defer close(r.probeDone)
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.probeStop:
+			return
+		case <-t.C:
+		}
+		for _, rep := range r.replicas {
+			r.probe(rep)
+		}
+	}
+}
+
+// probe pings one replica and applies the verdict.
+func (r *Router) probe(rep *replica) {
+	c, err := rep.acquire(&r.cfg)
+	if err != nil {
+		if !errors.Is(err, errBackoff) {
+			rep.setState(StateDown)
+		}
+		return
+	}
+	flags, err := c.Ping()
+	if err != nil {
+		rep.release(c, false)
+		rep.markDown()
+		return
+	}
+	if flags&wire.FlagDraining != 0 {
+		rep.setState(StateDraining)
+	} else {
+		rep.setState(StateHealthy)
+	}
+	rep.release(c, true)
+}
+
+// observeFlags applies passive health from a successful response.
+func (rep *replica) observeFlags(flags wire.Flags) {
+	if flags&wire.FlagDraining != 0 {
+		if State(rep.state.Load()) == StateHealthy {
+			rep.setState(StateDraining)
+		}
+	} else if State(rep.state.Load()) == StateDraining {
+		rep.setState(StateHealthy)
+	}
+}
+
+// Serve accepts client connections on l until Shutdown.
+func (r *Router) Serve(l net.Listener) error {
+	r.mu.Lock()
+	r.ls = append(r.ls, l)
+	r.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if r.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		r.connsTotal.Add(1)
+		r.connsOpen.Add(1)
+		r.mu.Lock()
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			newFEConn(r, conn).run()
+			r.mu.Lock()
+			delete(r.conns, conn)
+			r.mu.Unlock()
+			r.connsOpen.Add(-1)
+		}()
+	}
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (r *Router) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return r.Serve(l)
+}
+
+// Shutdown drains the router: stop probing, stop accepting, interrupt
+// idle client reads, wait for in-flight batches bounded by ctx, then
+// force-close stragglers and the backend pools.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.draining.Store(true)
+	select {
+	case <-r.probeStop:
+	default:
+		close(r.probeStop)
+	}
+	<-r.probeDone
+
+	r.mu.Lock()
+	for _, l := range r.ls {
+		_ = l.Close() // best-effort: double close on repeated Shutdown is fine
+	}
+	r.ls = nil
+	for c := range r.conns {
+		_ = c.SetReadDeadline(time.Now()) // best-effort: interrupt the idle read
+	}
+	r.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		r.mu.Lock()
+		for c := range r.conns {
+			_ = c.Close() // best-effort: force close at deadline
+		}
+		r.mu.Unlock()
+		<-done
+	}
+	for _, rep := range r.replicas {
+		rep.markDown()
+	}
+	return err
+}
+
+// ReplicaStates snapshots each replica's address and health (admin
+// surface and tests).
+func (r *Router) ReplicaStates() map[string]State {
+	out := make(map[string]State, len(r.replicas))
+	for _, rep := range r.replicas {
+		out[rep.addr] = State(rep.state.Load())
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
@@ -21,8 +22,10 @@ import (
 // so even large batches stay far below this.
 const maxBodyBytes = 8 << 20
 
-// Server is the HTTP front end: a model registry plus the JSON API,
-// admission control and the /metrics endpoint.
+// Server is the serving front end: a model registry behind two
+// listeners — the JSON HTTP API with admission control and /metrics,
+// and the binary wire protocol (ServeWire) for persistent-connection
+// hot-path traffic.
 type Server struct {
 	cfg Config
 
@@ -38,15 +41,30 @@ type Server struct {
 	inflightG    Gauge
 
 	srv *http.Server
+
+	// Wire listener state: tracked listeners and connections for drain,
+	// the soft draining flag (responses carry wire.FlagDraining), and
+	// the wire traffic counters.
+	wireMu       sync.Mutex
+	wireLs       []net.Listener
+	wireConns    map[net.Conn]struct{}
+	wireWG       sync.WaitGroup
+	wireDraining atomic.Bool
+
+	wireConnsTotal  Counter
+	wireConnsOpen   Gauge
+	wireDecodes     Counter
+	wireProtoErrors Counter
 }
 
 // NewServer builds an empty server; register models before serving.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		services: map[string]*Service{},
-		inflight: make(chan struct{}, cfg.MaxInFlight),
+		cfg:       cfg,
+		services:  map[string]*Service{},
+		inflight:  make(chan struct{}, cfg.MaxInFlight),
+		wireConns: map[net.Conn]struct{}{},
 	}
 	s.srv = &http.Server{Handler: s.Handler()}
 	return s
@@ -126,10 +144,12 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Shutdown drains gracefully: stop accepting, wait for in-flight
-// handlers (bounded by ctx), then flush and close every service queue.
+// Shutdown drains gracefully: stop accepting on both listeners, wait
+// for in-flight HTTP handlers and wire batches (bounded by ctx), then
+// flush and close every service queue.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.srv.Shutdown(ctx)
+	s.shutdownWire(ctx)
 	for _, svc := range s.snapshot() {
 		svc.Close()
 	}
@@ -337,6 +357,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "vegapunk_serve_http_errors_total %d\n", s.httpErrors.Load())
 	promHeader(w, "vegapunk_serve_http_inflight", "HTTP decode requests currently admitted.", "gauge")
 	fmt.Fprintf(w, "vegapunk_serve_http_inflight %d\n", s.inflightG.Load())
+	promHeader(w, "vegapunk_serve_wire_connections_total", "Wire protocol connections accepted.", "counter")
+	fmt.Fprintf(w, "vegapunk_serve_wire_connections_total %d\n", s.wireConnsTotal.Load())
+	promHeader(w, "vegapunk_serve_wire_open_connections", "Wire protocol connections currently open.", "gauge")
+	fmt.Fprintf(w, "vegapunk_serve_wire_open_connections %d\n", s.wireConnsOpen.Load())
+	promHeader(w, "vegapunk_serve_wire_decodes_total", "Decode frames received over the wire protocol.", "counter")
+	fmt.Fprintf(w, "vegapunk_serve_wire_decodes_total %d\n", s.wireDecodes.Load())
+	promHeader(w, "vegapunk_serve_wire_protocol_errors_total", "Wire connections terminated by a protocol error.", "counter")
+	fmt.Fprintf(w, "vegapunk_serve_wire_protocol_errors_total %d\n", s.wireProtoErrors.Load())
+	promHeader(w, "vegapunk_serve_wire_draining", "Whether the wire listener is draining (responses carry the drain flag).", "gauge")
+	var draining int64
+	if s.wireDraining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "vegapunk_serve_wire_draining %d\n", draining)
 }
 
 // parseBits parses a 0/1 string into a bit vector.

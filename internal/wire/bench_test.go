@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// BenchmarkWireAppendDecode pins the request encode hot path at
+// 0 allocs/op (cmd/allocgate): header + syndrome words into a reused
+// buffer, sized for the standard serving model (72 detectors).
+func BenchmarkWireAppendDecode(b *testing.B) {
+	syn := randVec(72, rand.New(rand.NewPCG(1, 2)))
+	buf := AppendDecode(nil, 1, 0, syn) // reach steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendDecode(buf[:0], 1, uint64(i), syn)
+	}
+	_ = buf
+}
+
+// BenchmarkWireParseResult pins the response decode hot path at
+// 0 allocs/op: header parse + result parse into pre-sized vectors,
+// sized for the standard serving model (216 mechanisms, 12
+// observables).
+func BenchmarkWireParseResult(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	res := Result{
+		Status:      StatusOK,
+		Satisfied:   true,
+		BPIters:     9,
+		QueueWaitNs: 1000,
+		DecodeNs:    50000,
+		CopyOutNs:   800,
+		Correction:  randVec(216, rng),
+		Observables: randVec(12, rng),
+	}
+	buf := AppendResult(nil, 0, 1, 42, &res)
+	var out Result
+	SizeResult(&out, 216, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := ParseHeader(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ParseResultInto(&out, buf[HeaderSize:HeaderSize+h.PayloadLen]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

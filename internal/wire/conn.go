@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"vegapunk/internal/gf2"
+)
+
+// readerBufSize is the buffered-reader window: large enough that a
+// whole pipelined request batch is visible to FrameBuffered, so the
+// server can coalesce it into one micro-batch.
+const readerBufSize = 64 << 10
+
+// Reader reads frames off a connection. The payload returned by
+// ReadFrame aliases an internal buffer and is valid only until the
+// next ReadFrame call — parse it (ParseDecodeInto, ParseResultInto)
+// before reading on. Not safe for concurrent use.
+type Reader struct {
+	br      *bufio.Reader
+	hdr     [HeaderSize]byte
+	payload []byte
+}
+
+// NewReader wraps r in a framed reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, readerBufSize)} //vegapunk:allow(alloc) constructor: once per connection
+}
+
+// ReadFrame blocks for the next frame and returns its header and
+// payload view.
+//
+//vegapunk:hotpath
+func (r *Reader) ReadFrame() (Header, []byte, error) {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
+		return Header{}, nil, err //vegapunk:allow(alloc) error path: connection closed or truncated
+	}
+	h, err := ParseHeader(r.hdr[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if cap(r.payload) < h.PayloadLen {
+		r.payload = make([]byte, h.PayloadLen) //vegapunk:allow(alloc) payload buffer grows to the connection's steady-state frame size once
+	}
+	r.payload = r.payload[:h.PayloadLen]
+	if _, err := io.ReadFull(r.br, r.payload); err != nil {
+		return Header{}, nil, err //vegapunk:allow(alloc) error path: connection closed or truncated
+	}
+	return h, r.payload, nil
+}
+
+// FrameBuffered reports whether a complete frame is already buffered,
+// so a server can keep draining pipelined requests into one micro-batch
+// without blocking on the socket.
+//
+//vegapunk:hotpath
+func (r *Reader) FrameBuffered() bool {
+	if r.br.Buffered() < HeaderSize {
+		return false
+	}
+	b, err := r.br.Peek(HeaderSize)
+	if err != nil {
+		return false
+	}
+	h, err := ParseHeader(b)
+	if err != nil {
+		// Let ReadFrame surface the protocol error.
+		return true
+	}
+	return r.br.Buffered() >= HeaderSize+h.PayloadLen
+}
+
+// ModelInfo is a connection-scoped model binding resolved by Hello.
+type ModelInfo struct {
+	ID     uint16
+	Key    string
+	NumDet int
+	// NumMech and NumObs size the result vectors (SizeResult).
+	NumMech int
+	NumObs  int
+}
+
+// Client is a simple synchronous/pipelined wire client used by
+// cmd/decodeload, the router's backends and the test suites. Not safe
+// for concurrent use; open one Client per goroutine.
+type Client struct {
+	conn      net.Conn
+	r         *Reader
+	wbuf      []byte
+	ioTimeout time.Duration
+	nextReqID uint64
+}
+
+// Dial connects to a wire listener. ioTimeout, when non-zero, bounds
+// every subsequent read/write via connection deadlines.
+func Dial(addr string, dialTimeout, ioTimeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // best-effort: latency over batching at the kernel layer
+	}
+	return NewClient(conn, ioTimeout), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn, ioTimeout time.Duration) *Client {
+	return &Client{conn: conn, r: NewReader(conn), ioTimeout: ioTimeout} //vegapunk:allow(alloc) constructor: once per connection
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Conn exposes the underlying connection (tests).
+func (c *Client) Conn() net.Conn { return c.conn }
+
+func (c *Client) deadline() time.Time {
+	if c.ioTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.ioTimeout) //vegapunk:allow(time) io deadline stamp: one clock read per socket op
+}
+
+// Hello resolves key to a connection-scoped model id and dimensions.
+func (c *Client) Hello(key string) (ModelInfo, error) {
+	c.nextReqID++
+	id := c.nextReqID
+	c.wbuf = AppendHello(c.wbuf[:0], id, key)
+	if err := c.Flush(); err != nil {
+		return ModelInfo{}, err
+	}
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return ModelInfo{}, err
+	}
+	h, payload, err := c.r.ReadFrame()
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	switch h.Op {
+	case OpHelloAck:
+		det, mech, obs, err := ParseHelloAck(payload)
+		if err != nil {
+			return ModelInfo{}, err
+		}
+		return ModelInfo{ID: h.ModelID, Key: key, NumDet: det, NumMech: mech, NumObs: obs}, nil
+	case OpError:
+		status, msg, perr := ParseError(payload)
+		if perr != nil {
+			return ModelInfo{}, perr
+		}
+		return ModelInfo{}, &StatusError{Status: status, Msg: msg} //vegapunk:allow(alloc) handshake error path
+	}
+	return ModelInfo{}, fmt.Errorf("wire: hello %q: unexpected %s frame", key, h.Op) //vegapunk:allow(alloc) handshake error path
+}
+
+// QueueDecode appends an OpDecode frame to the write buffer without
+// flushing, enabling request pipelining (the server coalesces buffered
+// frames into one micro-batch).
+//
+//vegapunk:hotpath
+func (c *Client) QueueDecode(modelID uint16, reqID uint64, syndrome gf2.Vec) {
+	c.wbuf = AppendDecode(c.wbuf, modelID, reqID, syndrome)
+}
+
+// QueueFrame appends a raw, already-encoded payload under a fresh
+// header without flushing: the router's relay path.
+//
+//vegapunk:hotpath
+func (c *Client) QueueFrame(op Op, flags Flags, modelID uint16, reqID uint64, payload []byte) {
+	c.wbuf = AppendFrame(c.wbuf, op, flags, modelID, reqID, payload)
+}
+
+// ReadFrame blocks for the next raw frame under the client's IO
+// deadline: the router's relay path. The payload aliases an internal
+// buffer and is valid only until the next read.
+//
+//vegapunk:hotpath
+func (c *Client) ReadFrame() (Header, []byte, error) {
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return Header{}, nil, err //vegapunk:allow(alloc) error path: connection failed
+	}
+	return c.r.ReadFrame()
+}
+
+// Flush writes all queued frames in one conn write.
+//
+//vegapunk:hotpath
+func (c *Client) Flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	if err := c.conn.SetWriteDeadline(c.deadline()); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	return err
+}
+
+// ReadResult blocks for the next response frame and parses it into
+// res. OpError frames are surfaced as a Result with the error's status
+// class, so every request reaches exactly one terminal outcome through
+// the same return path; only transport and protocol failures return a
+// non-nil error.
+//
+//vegapunk:hotpath
+func (c *Client) ReadResult(res *Result) (Header, error) {
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return Header{}, err //vegapunk:allow(alloc) error path: connection failed
+	}
+	h, payload, err := c.r.ReadFrame()
+	if err != nil {
+		return Header{}, err
+	}
+	switch h.Op {
+	case OpResult:
+		return h, ParseResultInto(res, payload)
+	case OpError:
+		status, _, perr := ParseError(payload)
+		if perr != nil {
+			return Header{}, perr
+		}
+		res.Status = status
+		return h, nil
+	}
+	return Header{}, ErrUnexpectedFrame
+}
+
+// Decode is the one-shot request/response convenience: queue one
+// syndrome, flush, read its result. The response header's flags carry
+// the replica health bits.
+//
+//vegapunk:hotpath
+func (c *Client) Decode(modelID uint16, reqID uint64, syndrome gf2.Vec, res *Result) (Flags, error) {
+	c.QueueDecode(modelID, reqID, syndrome)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	h, err := c.ReadResult(res)
+	if err != nil {
+		return 0, err
+	}
+	if h.ReqID != reqID {
+		return 0, ErrReqIDMismatch
+	}
+	return h.Flags, nil
+}
+
+// Ping round-trips a health probe and returns the server's health
+// flags.
+func (c *Client) Ping() (Flags, error) {
+	c.nextReqID++
+	id := c.nextReqID
+	c.wbuf = AppendPing(c.wbuf, id)
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return 0, err
+	}
+	h, _, err := c.r.ReadFrame()
+	if err != nil {
+		return 0, err
+	}
+	if h.Op != OpPong || h.ReqID != id {
+		return 0, ErrUnexpectedFrame
+	}
+	return h.Flags, nil
+}
+
+// Connection-level protocol errors.
+var (
+	ErrUnexpectedFrame = errors.New("wire: unexpected frame type")
+	ErrReqIDMismatch   = errors.New("wire: response request id does not match")
+)
+
+// StatusError is a request-level failure carried by an OpError frame:
+// the request was understood and answered, but with an error class.
+// Distinguishable (errors.As) from transport failures, which have no
+// status.
+type StatusError struct {
+	Status Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("wire: %s: %s", e.Status, e.Msg)
+}

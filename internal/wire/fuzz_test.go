@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vegapunk/internal/gf2"
+)
+
+// FuzzWireFrameRoundTrip encodes a decode request and a result frame
+// from fuzz-chosen fields and checks both parse back bit-identically.
+func FuzzWireFrameRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint64(7), 72, []byte{0x0f, 0xf0}, uint8(0), true, uint32(12))
+	f.Add(uint16(0), uint64(0), 1, []byte{1}, uint8(2), false, uint32(0))
+	f.Add(uint16(65535), uint64(1<<63), 200, bytes.Repeat([]byte{0xaa}, 25), uint8(1), true, uint32(1<<31))
+	f.Fuzz(func(t *testing.T, modelID uint16, reqID uint64, n int, bits []byte, tier uint8, sat bool, iters uint32) {
+		if n <= 0 || n > 4096 {
+			t.Skip()
+		}
+		syn := gf2.NewVec(n)
+		for i := 0; i < n && i/8 < len(bits); i++ {
+			if bits[i/8]&(1<<(i%8)) != 0 {
+				syn.Set(i, true)
+			}
+		}
+
+		buf := AppendDecode(nil, modelID, reqID, syn)
+		h, err := ParseHeader(buf)
+		if err != nil {
+			t.Fatalf("ParseHeader on own encoding: %v", err)
+		}
+		if h.Op != OpDecode || h.ModelID != modelID || h.ReqID != reqID ||
+			h.PayloadLen != len(buf)-HeaderSize {
+			t.Fatalf("header drift: %+v", h)
+		}
+		got := gf2.NewVec(n)
+		if err := ParseDecodeInto(got, buf[HeaderSize:]); err != nil {
+			t.Fatalf("ParseDecodeInto on own encoding: %v", err)
+		}
+		if !got.Equal(syn) {
+			t.Fatal("syndrome round trip corrupted bits")
+		}
+
+		res := Result{
+			Status:      StatusOK,
+			Tier:        tier,
+			Satisfied:   sat,
+			BPIters:     iters,
+			QueueWaitNs: int64(reqID) ^ 42,
+			DecodeNs:    int64(iters),
+			CopyOutNs:   -1,
+			Correction:  syn,
+			Observables: got,
+		}
+		buf = AppendResult(buf[:0], FlagDegraded, modelID, reqID, &res)
+		var back Result
+		SizeResult(&back, n, n)
+		if err := ParseResultInto(&back, buf[HeaderSize:]); err != nil {
+			t.Fatalf("ParseResultInto on own encoding: %v", err)
+		}
+		if back.Tier != tier || back.Satisfied != sat || back.BPIters != iters ||
+			back.QueueWaitNs != res.QueueWaitNs || back.CopyOutNs != -1 {
+			t.Fatalf("result scalar drift: %+v", back)
+		}
+		if !back.Correction.Equal(syn) || !back.Observables.Equal(got) {
+			t.Fatal("result vectors corrupted")
+		}
+	})
+}
+
+// FuzzWireParseCorrupt throws arbitrary bytes at the parsers: they must
+// reject garbage with a protocol error (never panic, never accept a
+// vector of the wrong length, never write out of bounds).
+func FuzzWireParseCorrupt(f *testing.F) {
+	syn := gf2.NewVec(72)
+	syn.Set(3, true)
+	syn.Set(71, true)
+	f.Add(AppendDecode(nil, 1, 2, syn), 72)
+	res := Result{Status: StatusOK, Correction: syn, Observables: gf2.NewVec(12)}
+	f.Add(AppendResult(nil, 0, 1, 2, &res), 72)
+	f.Add([]byte{}, 1)
+	f.Add(bytes.Repeat([]byte{0xff}, 64), 16)
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n <= 0 || n > 4096 {
+			t.Skip()
+		}
+		if _, err := ParseHeader(raw); err != nil {
+			// Rejected at the header; nothing further to check.
+			return
+		}
+		payload := raw[HeaderSize:]
+
+		v := gf2.NewVec(n)
+		if err := ParseDecodeInto(v, payload); err == nil {
+			// Accepted: the invariant must hold (spare bits zero).
+			if words := (n + 63) / 64; n%64 != 0 && v.Word(words-1)>>(uint(n%64)) != 0 {
+				t.Fatal("accepted decode frame broke the Vec invariant")
+			}
+		} else if !isProtoErr(err) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+
+		var r Result
+		SizeResult(&r, n, n)
+		if err := ParseResultInto(&r, payload); err != nil && !isProtoErr(err) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+
+		if _, _, _, err := ParseHelloAck(payload); err != nil && !isProtoErr(err) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if _, _, err := ParseError(payload); err != nil && !isProtoErr(err) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}
+
+func isProtoErr(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrDimMismatch) ||
+		errors.Is(err, ErrBadMagic) || errors.Is(err, ErrBadVersion) ||
+		errors.Is(err, ErrOversize) || errors.Is(err, ErrBadStatus)
+}

@@ -1,0 +1,535 @@
+// Package wire implements the binary serving protocol: length-prefixed
+// frames over persistent connections, replacing the JSON /v1/decode
+// path on the hot serving path. A frame is a fixed 20-byte header
+// (magic, version, opcode, health flags, model id, request id, payload
+// length) followed by a bounded payload; syndromes and corrections
+// travel as raw 64-bit words, so encode/decode is a header patch plus a
+// word copy — no base-10 bit strings, no per-request allocation.
+//
+// The protocol is deliberately small:
+//
+//	client                         server
+//	OpHello  (model key)    →
+//	                        ←      OpHelloAck (model id, dimensions)
+//	OpDecode (syndrome)     →                              ┐ pipelined
+//	OpDecode (syndrome)     →                              ┘ frames batch
+//	                        ←      OpResult (status, tier, stats, words)
+//	                        ←      OpResult
+//	OpPing                  →
+//	                        ←      OpPong (health flags)
+//
+// Model ids are assigned per connection by the server at OpHello time;
+// a client resolves each model key once and reuses the id for the
+// connection's lifetime. Every server→client frame carries health flags
+// (breaker open, degraded tier, draining) so a router can derive
+// replica health passively from response traffic.
+//
+// Encoders append into a caller-owned buffer and parsers read in place,
+// so the steady state on both sides is allocation-free (pinned by the
+// package benchmarks and cmd/allocgate).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"vegapunk/internal/gf2"
+)
+
+// Frame geometry.
+const (
+	// Magic identifies a vegapunk wire frame ("VP", little-endian).
+	Magic uint16 = 0x5650
+	// Version is the protocol version carried in every header.
+	Version byte = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 20
+	// MaxPayload bounds a frame payload; larger length prefixes are a
+	// protocol error and the connection is closed. Syndrome and
+	// correction words for every registered code fit far below this.
+	MaxPayload = 1 << 20
+)
+
+// Op identifies the frame type.
+type Op uint8
+
+const (
+	// OpHello resolves a model key (payload: UTF-8 key) to a
+	// connection-scoped model id.
+	OpHello Op = 1 + iota
+	// OpHelloAck answers OpHello: the assigned id rides the header's
+	// model-id field and the payload carries the model dimensions.
+	OpHelloAck
+	// OpDecode submits one syndrome (payload: bit length + words) for
+	// the header's model id.
+	OpDecode
+	// OpResult answers OpDecode: status/tier/stats plus, on success,
+	// the correction and observable words.
+	OpResult
+	// OpPing requests a health probe.
+	OpPing
+	// OpPong answers OpPing; the header flags carry the health bits.
+	OpPong
+	// OpError reports a request- or protocol-level failure (payload:
+	// status byte + message). After a protocol-level OpError the server
+	// closes the connection.
+	OpError
+)
+
+// String names the opcode for logs and tests.
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpHelloAck:
+		return "hello_ack"
+	case OpDecode:
+		return "decode"
+	case OpResult:
+		return "result"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	case OpError:
+		return "error"
+	}
+	return "invalid"
+}
+
+// Status classifies a decode outcome (the wire analogue of the JSON
+// API's HTTP status mapping).
+type Status uint8
+
+const (
+	// StatusOK is a successful decode; the result payload carries the
+	// correction and observable words.
+	StatusOK Status = iota
+	// StatusUnknownModel rejects an OpHello or OpDecode for a key/id
+	// the server has not registered.
+	StatusUnknownModel
+	// StatusBadRequest rejects a malformed request (wrong syndrome
+	// length, truncated payload).
+	StatusBadRequest
+	// StatusOverload fast-fails a request the server cannot admit:
+	// circuit breaker open, service draining, or queue saturation.
+	// Retryable on a sibling replica.
+	StatusOverload
+	// StatusShed fails a request dropped by deadline-budget shedding.
+	// Retryable on a sibling replica.
+	StatusShed
+	// StatusDecoderFault fails a request whose decoder panicked, hung
+	// or produced a defective result; the instance was quarantined.
+	StatusDecoderFault
+	// StatusTimeout fails a request that exceeded its decode deadline.
+	StatusTimeout
+	// StatusInternal is any other server-side failure.
+	StatusInternal
+
+	numStatuses
+)
+
+// String names the status for logs and metrics.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUnknownModel:
+		return "unknown_model"
+	case StatusBadRequest:
+		return "bad_request"
+	case StatusOverload:
+		return "overload"
+	case StatusShed:
+		return "shed"
+	case StatusDecoderFault:
+		return "decoder_fault"
+	case StatusTimeout:
+		return "timeout"
+	case StatusInternal:
+		return "internal"
+	}
+	return "invalid"
+}
+
+// Retryable reports whether a sibling replica might serve the request
+// that failed with this status: the router's single-retry policy.
+func (s Status) Retryable() bool {
+	return s == StatusOverload || s == StatusShed
+}
+
+// Flags is the header flag word. On server→client frames it carries
+// the replica health bits a router derives passive health from.
+type Flags uint16
+
+const (
+	// FlagBreakerOpen reports the model's decoder-fault circuit breaker
+	// is open.
+	FlagBreakerOpen Flags = 1 << iota
+	// FlagDegraded reports the model is decoding below TierFull under
+	// the degradation ladder.
+	FlagDegraded
+	// FlagDraining reports the server is shutting down; the connection
+	// closes after in-flight responses flush.
+	FlagDraining
+	// FlagRetried marks a router response that was served by a failover
+	// sibling after the primary replica failed the request.
+	FlagRetried
+)
+
+// Header is the fixed frame preamble.
+//
+// Byte layout (little-endian):
+//
+//	off size field
+//	  0    2 magic (0x5650)
+//	  2    1 version (1)
+//	  3    1 opcode
+//	  4    2 flags
+//	  6    2 model id
+//	  8    8 request id
+//	 16    4 payload length (bytes)
+type Header struct {
+	Op         Op
+	Flags      Flags
+	ModelID    uint16
+	ReqID      uint64
+	PayloadLen int
+}
+
+// Protocol-level parse errors. All are terminal for the connection.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported protocol version")
+	ErrOversize    = errors.New("wire: frame payload exceeds MaxPayload")
+	ErrTruncated   = errors.New("wire: truncated frame")
+	ErrDimMismatch = errors.New("wire: vector length does not match model dimensions")
+)
+
+// ParseHeader decodes the fixed header from b (which must hold at
+// least HeaderSize bytes) and validates magic, version and the payload
+// bound.
+//
+//vegapunk:hotpath
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(b[0:]) != Magic {
+		return Header{}, ErrBadMagic
+	}
+	if b[2] != Version {
+		return Header{}, ErrBadVersion
+	}
+	n := binary.LittleEndian.Uint32(b[16:])
+	if n > MaxPayload {
+		return Header{}, ErrOversize
+	}
+	return Header{
+		Op:         Op(b[3]),
+		Flags:      Flags(binary.LittleEndian.Uint16(b[4:])),
+		ModelID:    binary.LittleEndian.Uint16(b[6:]),
+		ReqID:      binary.LittleEndian.Uint64(b[8:]),
+		PayloadLen: int(n),
+	}, nil
+}
+
+// beginFrame appends a header with a zero payload length and returns
+// the offset of the frame start; endFrame patches the length once the
+// payload has been appended.
+//
+//vegapunk:hotpath
+func beginFrame(buf []byte, op Op, flags Flags, modelID uint16, reqID uint64) ([]byte, int) {
+	start := len(buf)
+	buf = append(buf, //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+		byte(Magic&0xff), byte(Magic>>8), Version, byte(op),
+		byte(flags), byte(flags>>8), byte(modelID), byte(modelID>>8),
+		byte(reqID), byte(reqID>>8), byte(reqID>>16), byte(reqID>>24),
+		byte(reqID>>32), byte(reqID>>40), byte(reqID>>48), byte(reqID>>56),
+		0, 0, 0, 0)
+	return buf, start
+}
+
+// endFrame patches the payload length of the frame begun at start.
+//
+//vegapunk:hotpath
+func endFrame(buf []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(buf[start+16:], uint32(len(buf)-start-HeaderSize))
+	return buf
+}
+
+// appendVec appends a vector block: uint32 bit length then the packed
+// 64-bit words.
+//
+//vegapunk:hotpath
+func appendVec(buf []byte, v gf2.Vec) []byte {
+	n := v.Len()
+	buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24)) //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+	for i, words := 0, wordsFor(n); i < words; i++ {
+		w := v.Word(i)
+		buf = append(buf, //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return buf
+}
+
+// parseVecInto reads a vector block into v, which must already be
+// sized to the expected bit length (clients size from OpHelloAck).
+// Spare bits of the last word are masked so hostile input cannot break
+// the gf2.Vec invariant. It returns the remaining payload bytes.
+//
+//vegapunk:hotpath
+func parseVecInto(v gf2.Vec, b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n != v.Len() {
+		return nil, ErrDimMismatch
+	}
+	b = b[4:]
+	words := wordsFor(n)
+	if len(b) < 8*words {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < words; i++ {
+		v.SetWord(i, binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	if rem := uint(n % 64); rem != 0 && words > 0 {
+		v.SetWord(words-1, v.Word(words-1)&(1<<rem-1))
+	}
+	return b[8*words:], nil
+}
+
+// wordsFor mirrors gf2's packing: 64-bit words per n bits.
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+// VecWireSize returns the encoded size in bytes of a vector block for
+// an n-bit vector.
+func VecWireSize(n int) int { return 4 + 8*wordsFor(n) }
+
+// ---- hello ----
+
+// AppendHello appends an OpHello frame resolving key.
+func AppendHello(buf []byte, reqID uint64, key string) []byte {
+	buf, start := beginFrame(buf, OpHello, 0, 0, reqID)
+	buf = append(buf, key...) //vegapunk:allow(alloc) handshake: once per model binding
+	return endFrame(buf, start)
+}
+
+// AppendHelloAck appends an OpHelloAck frame assigning modelID with the
+// model's dimensions in the payload.
+func AppendHelloAck(buf []byte, flags Flags, modelID uint16, reqID uint64, numDet, numMech, numObs int) []byte {
+	buf, start := beginFrame(buf, OpHelloAck, flags, modelID, reqID)
+	buf = append(buf,
+		byte(numDet), byte(numDet>>8), byte(numDet>>16), byte(numDet>>24),
+		byte(numMech), byte(numMech>>8), byte(numMech>>16), byte(numMech>>24),
+		byte(numObs), byte(numObs>>8), byte(numObs>>16), byte(numObs>>24))
+	return endFrame(buf, start)
+}
+
+// ParseHelloAck decodes an OpHelloAck payload.
+func ParseHelloAck(b []byte) (numDet, numMech, numObs int, err error) {
+	if len(b) < 12 {
+		return 0, 0, 0, ErrTruncated
+	}
+	return int(binary.LittleEndian.Uint32(b)),
+		int(binary.LittleEndian.Uint32(b[4:])),
+		int(binary.LittleEndian.Uint32(b[8:])), nil
+}
+
+// ---- decode ----
+
+// AppendDecode appends an OpDecode frame carrying the syndrome for
+// modelID.
+//
+//vegapunk:hotpath
+func AppendDecode(buf []byte, modelID uint16, reqID uint64, syndrome gf2.Vec) []byte {
+	buf, start := beginFrame(buf, OpDecode, 0, modelID, reqID)
+	buf = appendVec(buf, syndrome)
+	return endFrame(buf, start)
+}
+
+// ParseDecodeInto reads an OpDecode payload into syn, which must be
+// sized to the model's detector count.
+//
+//vegapunk:hotpath
+func ParseDecodeInto(syn gf2.Vec, b []byte) error {
+	rest, err := parseVecInto(syn, b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// ---- result ----
+
+// resultFixedSize is the fixed prefix of an OpResult payload: status,
+// tier, satisfied, reserved, bp iterations, and the three stage
+// latencies.
+const resultFixedSize = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8
+
+// Result is one decode outcome on the wire: the status/error class,
+// the degradation tier and stage latencies from serve.Result's Stats,
+// and — on StatusOK — the correction and observable words. Correction
+// and Observables are caller-owned and must be pre-sized to the model
+// dimensions (see SizeResult); ParseResultInto fills them in place.
+type Result struct {
+	Status      Status
+	Tier        uint8
+	Satisfied   bool
+	BPIters     uint32
+	QueueWaitNs int64
+	DecodeNs    int64
+	CopyOutNs   int64
+	Correction  gf2.Vec
+	Observables gf2.Vec
+}
+
+// SizeResult sizes res's vectors for a model's dimensions so the
+// parse path stays allocation-free afterwards.
+func SizeResult(res *Result, numMech, numObs int) {
+	if res.Correction.Len() != numMech {
+		res.Correction = gf2.NewVec(numMech)
+	}
+	if res.Observables.Len() != numObs {
+		res.Observables = gf2.NewVec(numObs)
+	}
+}
+
+// AppendResult appends an OpResult frame. A non-OK status carries only
+// the fixed prefix; StatusOK adds the correction and observable words.
+//
+//vegapunk:hotpath
+func AppendResult(buf []byte, flags Flags, modelID uint16, reqID uint64, res *Result) []byte {
+	buf, start := beginFrame(buf, OpResult, flags, modelID, reqID)
+	sat := byte(0)
+	if res.Satisfied {
+		sat = 1
+	}
+	buf = append(buf, //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+		byte(res.Status), res.Tier, sat, 0,
+		byte(res.BPIters), byte(res.BPIters>>8), byte(res.BPIters>>16), byte(res.BPIters>>24))
+	buf = appendI64(buf, res.QueueWaitNs)
+	buf = appendI64(buf, res.DecodeNs)
+	buf = appendI64(buf, res.CopyOutNs)
+	if res.Status == StatusOK {
+		buf = appendVec(buf, res.Correction)
+		buf = appendVec(buf, res.Observables)
+	}
+	return endFrame(buf, start)
+}
+
+//vegapunk:hotpath
+func appendI64(buf []byte, v int64) []byte {
+	return append(buf, //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// ParseResultInto decodes an OpResult payload into res. On StatusOK
+// the correction and observable vectors must be pre-sized to the model
+// dimensions (SizeResult); on any other status they are left untouched.
+//
+//vegapunk:hotpath
+func ParseResultInto(res *Result, b []byte) error {
+	if len(b) < resultFixedSize {
+		return ErrTruncated
+	}
+	if b[0] >= byte(numStatuses) {
+		return ErrBadStatus
+	}
+	res.Status = Status(b[0])
+	res.Tier = b[1]
+	res.Satisfied = b[2] != 0
+	res.BPIters = binary.LittleEndian.Uint32(b[4:])
+	res.QueueWaitNs = int64(binary.LittleEndian.Uint64(b[8:]))
+	res.DecodeNs = int64(binary.LittleEndian.Uint64(b[16:]))
+	res.CopyOutNs = int64(binary.LittleEndian.Uint64(b[24:]))
+	b = b[resultFixedSize:]
+	if res.Status != StatusOK {
+		if len(b) != 0 {
+			return ErrTruncated
+		}
+		return nil
+	}
+	b, err := parseVecInto(res.Correction, b)
+	if err != nil {
+		return err
+	}
+	b, err = parseVecInto(res.Observables, b)
+	if err != nil {
+		return err
+	}
+	if len(b) != 0 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// ErrBadStatus rejects a result frame whose status byte is outside the
+// defined set.
+var ErrBadStatus = errors.New("wire: invalid status code")
+
+// ---- relay ----
+
+// AppendFrame re-emits an already-encoded payload under a rewritten
+// header: the router relays backend responses to its clients without
+// re-parsing the vector blocks.
+//
+//vegapunk:hotpath
+func AppendFrame(buf []byte, op Op, flags Flags, modelID uint16, reqID uint64, payload []byte) []byte {
+	buf, start := beginFrame(buf, op, flags, modelID, reqID)
+	buf = append(buf, payload...) //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+	return endFrame(buf, start)
+}
+
+// PeekStatus reads the status class off an OpResult or OpError payload
+// (both carry it in byte 0) without a full parse: the router's retry
+// decision.
+//
+//vegapunk:hotpath
+func PeekStatus(payload []byte) (Status, error) {
+	if len(payload) < 1 {
+		return 0, ErrTruncated
+	}
+	if payload[0] >= byte(numStatuses) {
+		return 0, ErrBadStatus
+	}
+	return Status(payload[0]), nil
+}
+
+// ---- ping / pong / error ----
+
+// AppendPing appends an OpPing health probe.
+func AppendPing(buf []byte, reqID uint64) []byte {
+	buf, start := beginFrame(buf, OpPing, 0, 0, reqID)
+	return endFrame(buf, start)
+}
+
+// AppendPong appends an OpPong answer carrying the health flags.
+func AppendPong(buf []byte, flags Flags, reqID uint64) []byte {
+	buf, start := beginFrame(buf, OpPong, flags, 0, reqID)
+	return endFrame(buf, start)
+}
+
+// AppendError appends an OpError frame with a status class and a
+// human-readable message.
+func AppendError(buf []byte, flags Flags, reqID uint64, status Status, msg string) []byte {
+	buf, start := beginFrame(buf, OpError, flags, 0, reqID)
+	buf = append(buf, byte(status))
+	buf = append(buf, msg...)
+	return endFrame(buf, start)
+}
+
+// ParseError decodes an OpError payload into its status and message.
+func ParseError(b []byte) (Status, string, error) {
+	if len(b) < 1 {
+		return 0, "", ErrTruncated
+	}
+	return Status(b[0]), string(b[1:]), nil //vegapunk:allow(alloc) error path: message materialized only on failure
+}
