@@ -246,6 +246,7 @@ func runServeLoad(requests, batchSize, clients int) (serveLoad, error) {
 	start := time.Now()
 	errs := make(chan error, clients)
 	for cl := 0; cl < clients; cl++ {
+		//vegapunk:goroutine(runServeLoad) sends exactly one terminal value on errs; the drain loop below receives all clients values before returning
 		go func(cl int) {
 			res := make([]serve.Result, perBatch)
 			for b := cl; b < nBatches; b += clients {
@@ -311,8 +312,10 @@ func runProtoLoads(requests, batchSize, clients int) ([]protoLoad, error) {
 	if err != nil {
 		return nil, err
 	}
-	go func() { _ = srv.Serve(httpL) }()     // returns on Shutdown
-	go func() { _ = srv.ServeWire(wireL) }() // returns on Shutdown
+	//vegapunk:goroutine(runProtoLoads) accept loop returns when the deferred srv.Shutdown closes the listener
+	go func() { _ = srv.Serve(httpL) }()
+	//vegapunk:goroutine(runProtoLoads) accept loop returns when the deferred srv.Shutdown closes the listener
+	go func() { _ = srv.ServeWire(wireL) }()
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -331,7 +334,8 @@ func runProtoLoads(requests, batchSize, clients int) ([]protoLoad, error) {
 	if err != nil {
 		return nil, err
 	}
-	go func() { _ = rt.Serve(routerL) }() // returns on Shutdown
+	//vegapunk:goroutine(runProtoLoads) accept loop returns when the deferred rt.Shutdown closes the listener
+	go func() { _ = rt.Serve(routerL) }()
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -404,6 +408,7 @@ func driveJSON(base, key string, syndromes []gf2.Vec, requests, batchSize, clien
 	errs := make(chan error, clients)
 	start := time.Now()
 	for cl := 0; cl < clients; cl++ {
+		//vegapunk:goroutine(driveJSON) sends exactly one terminal value on errs; the drain loop below receives all clients values before returning
 		go func(cl int) {
 			for i := cl; i < requests; i += clients {
 				t0 := time.Now()
@@ -468,6 +473,7 @@ func driveBinary(addr, key string, syndromes []gf2.Vec, requests, batchSize, cli
 	}
 	start := time.Now()
 	for cl := 0; cl < clients; cl++ {
+		//vegapunk:goroutine(driveBinary) sends exactly one terminal value on errs; the drain loop below receives all clients values before returning
 		go func(cl int) {
 			c := conns[cl]
 			info, err := c.Hello(key)
@@ -571,17 +577,27 @@ func runCompare(dir string, tolerance float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
+	// A newest artifact that parses but carries no benchmarks would make
+	// every comparison below vacuously pass — fail loudly instead of
+	// waving a truncated or hand-edited file through.
+	if len(newArt.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no benchmarks; truncated or malformed artifact\n",
+			arts[len(arts)-1].path)
+		return 2
+	}
 
 	oldBy := map[string]benchResult{}
 	for _, b := range oldArt.Benchmarks {
 		oldBy[b.Pkg+"/"+b.Name] = b
 	}
 	failed := false
+	matched := 0
 	for _, nb := range newArt.Benchmarks {
 		ob, ok := oldBy[nb.Pkg+"/"+nb.Name]
 		if !ok {
 			continue // new benchmark this PR; no baseline
 		}
+		matched++
 		if nb.NsPerOp > ob.NsPerOp*(1+tolerance) {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s %s: %.0f ns/op -> %.0f ns/op (+%.1f%%)\n",
 				nb.Pkg, nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1))
@@ -608,6 +624,13 @@ func runCompare(dir string, tolerance float64) int {
 				np.Proto, op.QPS, np.QPS, 100*(1-np.QPS/op.QPS))
 			failed = true
 		}
+	}
+	// Zero overlap means nothing was actually compared — renamed
+	// benchmarks or a corrupted artifact, either way not a pass.
+	if matched == 0 && len(oldArt.Benchmarks) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark in %s matches any in %s; nothing was compared\n",
+			arts[len(arts)-1].path, arts[len(arts)-2].path)
+		return 2
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchjson: %s regressed past %s by more than %.0f%%\n",

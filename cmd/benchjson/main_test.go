@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBench drops one BENCH_<n>.json with the given raw contents.
+func writeBench(t *testing.T, dir string, n int, contents string) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baseline = `{
+	"issue": 1,
+	"benchmarks": [
+		{"pkg": "vegapunk/internal/gf2", "name": "BenchmarkMatVec", "ns_per_op": 100, "allocs_per_op": 0}
+	],
+	"serve_load": {"qps": 1000}
+}`
+
+// TestCompareTruncatedArtifact pins the failure mode this rule exists
+// for: a newest artifact cut off mid-write must fail the comparison
+// loudly (exit 2), never silently pass it.
+func TestCompareTruncatedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, baseline)
+	// Truncated mid-object: invalid JSON.
+	writeBench(t, dir, 2, baseline[:len(baseline)/2])
+	if got := runCompare(dir, 0.10); got != 2 {
+		t.Errorf("runCompare with truncated newest artifact = %d, want 2", got)
+	}
+}
+
+// TestCompareEmptyArtifact covers truncation that still parses: a
+// valid JSON object with no benchmarks compares nothing and must fail.
+func TestCompareEmptyArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, baseline)
+	writeBench(t, dir, 2, `{"issue": 2}`)
+	if got := runCompare(dir, 0.10); got != 2 {
+		t.Errorf("runCompare with empty newest artifact = %d, want 2", got)
+	}
+}
+
+// TestCompareNoOverlap: benchmarks present on both sides but none
+// shared means nothing was compared — also a hard failure.
+func TestCompareNoOverlap(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, baseline)
+	writeBench(t, dir, 2, `{
+		"issue": 2,
+		"benchmarks": [
+			{"pkg": "vegapunk/internal/gf2", "name": "BenchmarkRenamed", "ns_per_op": 100, "allocs_per_op": 0}
+		],
+		"serve_load": {"qps": 1000}
+	}`)
+	if got := runCompare(dir, 0.10); got != 2 {
+		t.Errorf("runCompare with zero benchmark overlap = %d, want 2", got)
+	}
+}
+
+// TestCompareVerdicts covers the two healthy outcomes: a within-
+// tolerance artifact passes, a regressed one exits 1.
+func TestCompareVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, baseline)
+	writeBench(t, dir, 2, `{
+		"issue": 2,
+		"benchmarks": [
+			{"pkg": "vegapunk/internal/gf2", "name": "BenchmarkMatVec", "ns_per_op": 105, "allocs_per_op": 0}
+		],
+		"serve_load": {"qps": 990}
+	}`)
+	if got := runCompare(dir, 0.10); got != 0 {
+		t.Errorf("runCompare within tolerance = %d, want 0", got)
+	}
+	writeBench(t, dir, 3, `{
+		"issue": 3,
+		"benchmarks": [
+			{"pkg": "vegapunk/internal/gf2", "name": "BenchmarkMatVec", "ns_per_op": 150, "allocs_per_op": 0}
+		],
+		"serve_load": {"qps": 990}
+	}`)
+	if got := runCompare(dir, 0.10); got != 1 {
+		t.Errorf("runCompare with 50%% ns/op regression = %d, want 1", got)
+	}
+}
+
+// TestCompareSingleArtifact: the first trajectory point has no
+// baseline and passes by design.
+func TestCompareSingleArtifact(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 1, baseline)
+	if got := runCompare(dir, 0.10); got != 0 {
+		t.Errorf("runCompare with one artifact = %d, want 0", got)
+	}
+}

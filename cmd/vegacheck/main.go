@@ -1,9 +1,14 @@
 // Command vegacheck enforces the repo's machine-checked invariants with
 // a from-scratch stdlib-only static analyzer (see internal/analysis):
 // allocation-free //vegapunk:hotpath functions, decode-result scratch
-// ownership at pool boundaries, lock-copy hygiene on serve types, and
+// ownership at pool boundaries, lock-copy hygiene on serve types,
 // unchecked errors in cmd/ binaries and the serving layers
-// (internal/serve, internal/faultinject).
+// (internal/serve, internal/faultinject), and the concurrency
+// contracts — goroutine-lifecycle (every go statement bounded or
+// annotated //vegapunk:goroutine(<owner>)), lock-blocking (no channel
+// op, net I/O or sleep while a mutex is held), ctx-propagate
+// (cancellation must flow; no context roots inside the serving
+// layers) and atomic-mix (no plain access to sync/atomic variables).
 //
 //	go run ./cmd/vegacheck ./...
 //

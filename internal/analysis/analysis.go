@@ -15,6 +15,19 @@
 //   - err-unchecked: commands under cmd/ and the serving and
 //     fault-injection layers (internal/serve, internal/faultinject)
 //     must not drop error returns.
+//   - goroutine-lifecycle: every go statement must be structurally tied
+//     to a bounded lifecycle (a sync.WaitGroup Done, a channel receive
+//     or a range over a channel in the spawned body) or carry a
+//     //vegapunk:goroutine(<owner>) annotation naming who reaps it.
+//   - lock-blocking: no channel operation, net I/O, time.Sleep or
+//     blocking sync call — directly or through a statically resolved
+//     module callee — while a sync.Mutex/RWMutex is held.
+//   - ctx-propagate: a function that takes a context.Context must not
+//     mint a fresh context.Background/TODO; inside internal/serve,
+//     internal/cluster and internal/wire, Background/TODO are banned
+//     outside annotated lifecycle roots.
+//   - atomic-mix: a variable accessed through sync/atomic anywhere in
+//     the module must never be read or written plainly.
 //
 // See internal/README.md ("The vegacheck annotation language") for the
 // annotation grammar and worked examples.
@@ -34,6 +47,10 @@ const (
 	RuleScratchOwn   = "scratch-own"
 	RuleLockCopy     = "lock-copy"
 	RuleErrUnchecked = "err-unchecked"
+	RuleGoroutine    = "goroutine-lifecycle"
+	RuleLockBlocking = "lock-blocking"
+	RuleCtxPropagate = "ctx-propagate"
+	RuleAtomicMix    = "atomic-mix"
 	RuleAnnotation   = "annotation"
 )
 
@@ -84,6 +101,10 @@ func Check(mod *Module) *Result {
 	c.checkScratch()
 	c.checkLockCopy()
 	c.checkErrUnchecked()
+	c.checkGoroutines()
+	c.checkLockBlocking()
+	c.checkCtxPropagate()
+	c.checkAtomicMix()
 
 	res := &Result{Module: mod.Path, Dir: mod.Dir}
 	for _, fn := range c.closureOrder {

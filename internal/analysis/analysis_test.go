@@ -30,7 +30,7 @@ func TestFixtureDiagnostics(t *testing.T) {
 	// Directive-line diagnostics cannot carry a want marker (the marker
 	// text would change the directive's meaning), so the annotation-rule
 	// fixtures in ann/ann.go are asserted by explicit position.
-	for _, line := range []int{8, 10, 11, 12, 13} {
+	for _, line := range []int{8, 10, 11, 12, 13, 14, 15, 16, 17} {
 		want[fmt.Sprintf("ann/ann.go:%d:%s", line, RuleAnnotation)]++
 	}
 

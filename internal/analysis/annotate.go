@@ -16,15 +16,25 @@ import (
 //	    Suppresses <rule> diagnostics on the same line (trailing
 //	    comment) or on the line directly below (standalone comment).
 //	    The reason is mandatory. An allow(alloc) on a call line also
-//	    stops the hot-path closure from descending into that callee.
+//	    stops the hot-path closure from descending into that callee,
+//	    and an allow(block) on a blocking construct or call line stops
+//	    the lock-blocking escalation from treating it as blocking.
+//
+//	//vegapunk:goroutine(<owner>) <reason>
+//	    On a go statement's line (or the line directly above): vouches
+//	    that the spawned goroutine has a bounded lifecycle even though
+//	    the analyzer cannot see the structural evidence. <owner> names
+//	    who reaps the goroutine (e.g. Service.Close); the reason says
+//	    what ends it. Both are mandatory.
 //
 // <rule> is a rule id (hotpath-alloc, ...) or its short family alias:
-// alloc, time, scratch, lock, err.
+// alloc, time, scratch, lock, err, goroutine, block, ctx, atomic.
 
 const (
-	hotpathDirective = "//vegapunk:hotpath"
-	allowDirective   = "//vegapunk:allow("
-	directivePrefix  = "//vegapunk:"
+	hotpathDirective   = "//vegapunk:hotpath"
+	allowDirective     = "//vegapunk:allow("
+	goroutineDirective = "//vegapunk:goroutine("
+	directivePrefix    = "//vegapunk:"
 )
 
 // allowKey identifies one suppressed line.
@@ -39,6 +49,9 @@ type annotations struct {
 	hotpath map[token.Pos]bool
 	// allows maps a (file, line) to the set of suppressed rule ids.
 	allows map[allowKey]map[string]bool
+	// goroutines holds the (file, line) positions carrying a
+	// //vegapunk:goroutine(<owner>) annotation.
+	goroutines map[allowKey]bool
 }
 
 // aliasRule resolves a rule name or family alias to a rule id.
@@ -54,6 +67,14 @@ func aliasRule(name string) (string, bool) {
 		return RuleLockCopy, true
 	case "err", RuleErrUnchecked:
 		return RuleErrUnchecked, true
+	case "goroutine", RuleGoroutine:
+		return RuleGoroutine, true
+	case "block", RuleLockBlocking:
+		return RuleLockBlocking, true
+	case "ctx", RuleCtxPropagate:
+		return RuleCtxPropagate, true
+	case "atomic", RuleAtomicMix:
+		return RuleAtomicMix, true
 	}
 	return "", false
 }
@@ -62,8 +83,9 @@ func aliasRule(name string) (string, bool) {
 // directives, reporting malformed ones under the annotation rule.
 func (c *checker) collectAnnotations() {
 	c.ann = &annotations{
-		hotpath: map[token.Pos]bool{},
-		allows:  map[allowKey]map[string]bool{},
+		hotpath:    map[token.Pos]bool{},
+		allows:     map[allowKey]map[string]bool{},
+		goroutines: map[allowKey]bool{},
 	}
 	for _, pkg := range c.mod.Pkgs {
 		for _, f := range pkg.Files {
@@ -102,6 +124,30 @@ func (c *checker) scanDirective(cm *ast.Comment, docDirectives map[token.Pos]boo
 			c.report(cm.Pos(), RuleAnnotation,
 				"//vegapunk:hotpath must be part of a function's doc comment")
 		}
+	case strings.HasPrefix(text, goroutineDirective):
+		rest := text[len(goroutineDirective):]
+		close := strings.IndexByte(rest, ')')
+		if close < 0 {
+			c.report(cm.Pos(), RuleAnnotation, "malformed goroutine directive: missing ')'")
+			return
+		}
+		if strings.TrimSpace(rest[:close]) == "" {
+			c.report(cm.Pos(), RuleAnnotation,
+				"goroutine directive needs an owner: //vegapunk:goroutine(<owner>) who reaps it")
+			return
+		}
+		if strings.TrimSpace(rest[close+1:]) == "" {
+			c.report(cm.Pos(), RuleAnnotation,
+				"goroutine(%s) needs a reason: //vegapunk:goroutine(%s) what bounds its lifetime",
+				rest[:close], rest[:close])
+			return
+		}
+		pos := c.mod.Fset.Position(cm.Pos())
+		c.ann.goroutines[allowKey{file: pos.Filename, line: pos.Line}] = true
+	case text == strings.TrimSuffix(goroutineDirective, "(") ||
+		strings.HasPrefix(text, strings.TrimSuffix(goroutineDirective, "(")+" "):
+		c.report(cm.Pos(), RuleAnnotation,
+			"malformed goroutine directive: missing '(<owner>)'")
 	case strings.HasPrefix(text, allowDirective):
 		rest := text[len(allowDirective):]
 		close := strings.IndexByte(rest, ')')
@@ -112,7 +158,7 @@ func (c *checker) scanDirective(cm *ast.Comment, docDirectives map[token.Pos]boo
 		rule, ok := aliasRule(rest[:close])
 		if !ok {
 			c.report(cm.Pos(), RuleAnnotation,
-				"unknown rule %q in allow directive (want alloc, time, scratch, lock or err)", rest[:close])
+				"unknown rule %q in allow directive (want alloc, time, scratch, lock, err, goroutine, block, ctx or atomic)", rest[:close])
 			return
 		}
 		reason := strings.TrimSpace(rest[close+1:])
@@ -129,7 +175,7 @@ func (c *checker) scanDirective(cm *ast.Comment, docDirectives map[token.Pos]boo
 		c.ann.allows[key][rule] = true
 	default:
 		c.report(cm.Pos(), RuleAnnotation,
-			"unknown vegapunk directive %q (want hotpath or allow)", text)
+			"unknown vegapunk directive %q (want hotpath, goroutine or allow)", text)
 	}
 }
 
@@ -149,4 +195,16 @@ func (c *checker) allowed(pos token.Pos, rule string) bool {
 // hotpath directive.
 func (c *checker) isHotpathAnnotated(fd *ast.FuncDecl) bool {
 	return c.ann.hotpath[fd.Pos()]
+}
+
+// goroutineAnnotated reports whether the go statement at pos carries a
+// //vegapunk:goroutine annotation on the same line or the line above.
+func (c *checker) goroutineAnnotated(pos token.Pos) bool {
+	p := c.mod.Fset.Position(pos)
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if c.ann.goroutines[allowKey{file: p.Filename, line: line}] {
+			return true
+		}
+	}
+	return false
 }

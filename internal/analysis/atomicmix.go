@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomic-mix rule: a variable (struct field or package-level var)
+// that is accessed through the sync/atomic functions anywhere in the
+// module must never be read or written plainly — a single plain access
+// makes every atomic access on that variable a data race. The typed
+// atomics (atomic.Int64, ...) enforce this in the type system; this
+// rule covers the function-style API (atomic.AddInt64(&v, 1), ...),
+// where nothing stops a plain `v++` three lines later.
+
+// checkAtomicMix runs the atomic-mix rule module-wide: pass one
+// collects every variable whose address is taken by a sync/atomic call
+// (recording those sanctioned positions), pass two flags every other
+// use of those variables.
+func (c *checker) checkAtomicMix() {
+	atomicVars := map[*types.Var]string{} // var -> describing name
+	sanctioned := map[token.Pos]bool{}    // positions inside atomic call args
+
+	for _, pkg := range c.mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := c.staticCallee(pkg, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					v, name := c.addressedVar(pkg, ue.X)
+					if v == nil {
+						continue
+					}
+					atomicVars[v] = name
+					markSanctioned(ue.X, sanctioned)
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	for _, pkg := range c.mod.Pkgs {
+		for _, f := range pkg.Files {
+			// Composite-literal field keys resolve to the field object
+			// but are names, not accesses; exclude them.
+			keys := map[token.Pos]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok {
+					for _, el := range lit.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							keys[kv.Key.Pos()] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				var v *types.Var
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+						v, _ = sel.Obj().(*types.Var)
+					}
+				case *ast.Ident:
+					v, _ = pkg.Info.Uses[n].(*types.Var)
+				}
+				if v == nil || sanctioned[n.Pos()] || keys[n.Pos()] {
+					return true
+				}
+				name, isAtomic := atomicVars[v]
+				if !isAtomic {
+					return true
+				}
+				c.report(n.Pos(), RuleAtomicMix,
+					"%s is accessed with sync/atomic elsewhere in the module; this plain access races with those", name)
+				return false
+			})
+		}
+	}
+}
+
+// addressedVar resolves &expr's operand to the variable it denotes: a
+// struct field selection or a plain identifier.
+func (c *checker) addressedVar(pkg *Package, expr ast.Expr) (*types.Var, string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, "field " + fieldOwnerName(sel) + "." + v.Name()
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok && !v.IsField() {
+			return v, "variable " + v.Name()
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomics on a slice/array. Out of scope —
+		// the element is not a nameable variable.
+	}
+	return nil, ""
+}
+
+// fieldOwnerName names the struct type a field selection goes through.
+func fieldOwnerName(sel *types.Selection) string {
+	t := sel.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// markSanctioned records every selector/ident position inside an
+// atomic call argument so pass two does not flag the atomic access
+// itself.
+func markSanctioned(expr ast.Expr, sanctioned map[token.Pos]bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+			sanctioned[n.Pos()] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The ctx-propagate rule: cancellation must flow. A function that
+// already receives a context.Context must not mint a fresh
+// context.Background()/context.TODO() — doing so detaches every callee
+// from the caller's deadline and cancellation. And inside the serving
+// layers (internal/serve, internal/cluster, internal/wire), where every
+// operation is supposed to be bounded by a request deadline or the
+// component lifetime, Background/TODO are banned outright except at
+// lifecycle roots annotated //vegapunk:allow(ctx) with a reason.
+
+// ctxScope reports whether a package directory bans context roots.
+func ctxScope(rel string) bool {
+	switch rel {
+	case "internal/serve", "internal/cluster", "internal/wire":
+		return true
+	}
+	return false
+}
+
+// checkCtxPropagate runs the ctx-propagate rule over every function.
+func (c *checker) checkCtxPropagate() {
+	for _, pkg := range c.mod.Pkgs {
+		inScope := ctxScope(pkg.RelDir)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				hasCtx := c.funcHasCtxParam(pkg, fd)
+				if !inScope && !hasCtx {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name := c.ctxRootCall(pkg, call)
+					if name == "" {
+						return true
+					}
+					switch {
+					case inScope:
+						c.report(call.Pos(), RuleCtxPropagate,
+							"context.%s() inside %s detaches from request/lifetime cancellation; derive from the caller's ctx or annotate a lifecycle root with //vegapunk:allow(ctx) <why>",
+							name, pkg.RelDir)
+					case hasCtx:
+						c.report(call.Pos(), RuleCtxPropagate,
+							"function receives a context.Context but mints a fresh context.%s() here; forward the parameter instead", name)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// funcHasCtxParam reports whether fd declares a context.Context
+// parameter.
+func (c *checker) funcHasCtxParam(pkg *Package, fd *ast.FuncDecl) bool {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxRootCall returns "Background" or "TODO" when call is
+// context.Background()/context.TODO(), and "" otherwise.
+func (c *checker) ctxRootCall(pkg *Package, call *ast.CallExpr) string {
+	fn := c.staticCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}

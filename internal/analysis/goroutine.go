@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoroutines enforces the goroutine-lifecycle rule: every go
+// statement in non-test code must be structurally tied to a bounded
+// lifecycle, or carry a //vegapunk:goroutine(<owner>) annotation naming
+// who reaps it.
+//
+// Structural evidence is looked for in the spawned function literal's
+// body only (nested literals and nested go statements excluded — their
+// lifecycle is their own problem):
+//
+//   - a sync.WaitGroup Done call (direct or deferred): some owner holds
+//     the matching Add and Waits;
+//   - a channel receive expression: the goroutine parks on a done/stop
+//     channel (covers select-based shutdown and <-ctx.Done());
+//   - a range over a channel: the goroutine ends when its feed closes.
+//
+// A sync.WaitGroup Wait deliberately does NOT count — a drain watcher
+// that only Waits has no inbound shutdown signal of its own and must be
+// annotated. Spawning a named function (go s.worker()) never counts as
+// evidence either: the lifecycle contract lives at the spawn site, so
+// the annotation must too, rather than the analyzer guessing from a
+// callee it may share with unrelated spawns.
+func (c *checker) checkGoroutines() {
+	for _, pkg := range c.mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					c.checkGoStmt(pkg, g)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt applies the goroutine-lifecycle rule to one go statement.
+func (c *checker) checkGoStmt(pkg *Package, g *ast.GoStmt) {
+	if c.goroutineAnnotated(g.Pos()) {
+		return
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		c.report(g.Pos(), RuleGoroutine,
+			"go statement spawns a named function with no spawn-site lifecycle evidence; annotate //vegapunk:goroutine(<owner>) <what bounds it>")
+		return
+	}
+	if goroutineLifecycleEvidence(pkg, lit.Body) {
+		return
+	}
+	c.report(g.Pos(), RuleGoroutine,
+		"goroutine is not structurally tied to a bounded lifecycle (no sync.WaitGroup Done, channel receive, or range over a channel in its body); annotate //vegapunk:goroutine(<owner>) <what bounds it>")
+}
+
+// goroutineLifecycleEvidence scans a spawned function literal's body
+// (excluding nested literals and go statements) for the structural
+// lifecycle markers the rule accepts.
+func goroutineLifecycleEvidence(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel, ok := pkg.Info.Selections[se]; ok {
+					obj := sel.Obj()
+					if obj.Name() == "Done" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,373 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The lock-blocking rule: no channel send/receive, net I/O, time.Sleep
+// or blocking sync call while a sync.Mutex or sync.RWMutex is held.
+// A blocked lock holder stalls every other acquirer — on the serving
+// hot path that is a latency cliff, and against Close/Shutdown paths it
+// is a deadlock seed.
+//
+// Lock regions are tracked intra-procedurally and syntactically: an
+// x.Lock()/x.RLock() statement opens a region keyed by the receiver
+// expression, the matching x.Unlock()/x.RUnlock() statement in the same
+// block closes it, and a defer x.Unlock() holds it to the end of the
+// function. An unlock buried inside a nested statement (an if arm, a
+// select case) does NOT close the region — whether that path runs is
+// undecidable here, so the region conservatively stays open and the
+// escape hatch is //vegapunk:allow(block) with a reason.
+//
+// Inside a region, blocking constructs are flagged directly, and calls
+// escalate through the module call graph: a statically resolved callee
+// that (transitively) contains an unsuppressed blocking construct makes
+// the call blocking too. go statements do not escalate (the spawned
+// work blocks elsewhere), function literals are scanned as functions in
+// their own right, and an allow(block) either on the blocking construct
+// itself or on a call line prunes that node from the escalation.
+
+// blockingOp is one potentially blocking construct.
+type blockingOp struct {
+	pos  token.Pos
+	what string
+}
+
+// blockCause explains why a module function is considered blocking.
+type blockCause struct {
+	what string
+}
+
+// checkLockBlocking runs the lock-blocking rule over every function and
+// function literal in the module.
+func (c *checker) checkLockBlocking() {
+	blocking := c.computeBlocking()
+	for _, pkg := range c.mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.scanLockRegions(pkg, fd.Body.List, blocking)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						c.scanLockRegions(pkg, lit.Body.List, blocking)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// computeBlocking classifies every module function as blocking or not:
+// direct blocking constructs seed the set, then blockingness propagates
+// backwards over statically resolved call edges to a fixpoint. Ops and
+// call edges carrying an allow(block) are excluded — the author vouches
+// they cannot block in practice.
+func (c *checker) computeBlocking() map[*types.Func]*blockCause {
+	type edge struct {
+		callee *types.Func
+		pos    token.Pos
+	}
+	blocking := map[*types.Func]*blockCause{}
+	callers := map[*types.Func][]*funcInfo{} // callee -> callers
+	edges := map[*types.Func][]edge{}        // caller -> callees
+
+	var order []*funcInfo
+	for _, fn := range c.funcs {
+		order = append(order, fn)
+	}
+	sortFuncs(order)
+	for _, fn := range order {
+		for _, op := range c.blockingOps(fn.pkg, fn.decl.Body) {
+			if c.allowed(op.pos, RuleLockBlocking) {
+				continue
+			}
+			if blocking[fn.obj] == nil {
+				blocking[fn.obj] = &blockCause{what: op.what}
+			}
+		}
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				callee := c.staticCallee(fn.pkg, n)
+				if callee == nil {
+					return true
+				}
+				if _, inModule := c.funcs[callee]; !inModule {
+					return true
+				}
+				if c.allowed(n.Pos(), RuleLockBlocking) {
+					return true
+				}
+				edges[fn.obj] = append(edges[fn.obj], edge{callee: callee, pos: n.Pos()})
+				callers[callee] = append(callers[callee], fn)
+			}
+			return true
+		})
+	}
+
+	// Worklist fixpoint: when a callee turns out blocking, so do its
+	// callers (with a cause chain for the diagnostic message).
+	var queue []*types.Func
+	for obj := range blocking {
+		queue = append(queue, obj)
+	}
+	for len(queue) > 0 {
+		callee := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[callee] {
+			if blocking[caller.obj] != nil {
+				continue
+			}
+			blocking[caller.obj] = &blockCause{
+				what: "calls " + callee.FullName() + " → " + blocking[callee].what,
+			}
+			queue = append(queue, caller.obj)
+		}
+	}
+	return blocking
+}
+
+// scanLockRegions walks one statement list tracking held locks. While a
+// lock is held, each statement's whole subtree is checked; while none
+// is, the walk recurses into nested statement lists to find regions
+// opened there.
+func (c *checker) scanLockRegions(pkg *Package, list []ast.Stmt, blocking map[*types.Func]*blockCause) {
+	type held struct{ key string }
+	var locks []held
+	release := func(key string) {
+		for i := len(locks) - 1; i >= 0; i-- {
+			if locks[i].key == key {
+				locks = append(locks[:i], locks[i+1:]...)
+				return
+			}
+		}
+	}
+	for _, stmt := range list {
+		switch st := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, acquire, ok := c.lockCall(pkg, st.X); ok {
+				if acquire {
+					locks = append(locks, held{key: key})
+				} else {
+					release(key)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			if _, acquire, ok := c.lockCall(pkg, st.Call); ok && !acquire {
+				// Deferred unlock: the lock stays held for the rest of
+				// the function — exactly what the region already models.
+				continue
+			}
+		}
+		if len(locks) > 0 {
+			c.reportRegion(pkg, stmt, locks[0].key, blocking)
+			continue
+		}
+		c.recurseLockRegions(pkg, stmt, blocking)
+	}
+}
+
+// recurseLockRegions descends into stmt's nested statement lists (but
+// not function literals, scanned separately) looking for lock regions.
+func (c *checker) recurseLockRegions(pkg *Package, stmt ast.Stmt, blocking map[*types.Func]*blockCause) {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		c.scanLockRegions(pkg, st.List, blocking)
+	case *ast.IfStmt:
+		c.scanLockRegions(pkg, st.Body.List, blocking)
+		if st.Else != nil {
+			c.recurseLockRegions(pkg, st.Else, blocking)
+		}
+	case *ast.ForStmt:
+		c.scanLockRegions(pkg, st.Body.List, blocking)
+	case *ast.RangeStmt:
+		c.scanLockRegions(pkg, st.Body.List, blocking)
+	case *ast.SwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.scanLockRegions(pkg, cc.Body, blocking)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.scanLockRegions(pkg, cc.Body, blocking)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				c.scanLockRegions(pkg, cc.Body, blocking)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.recurseLockRegions(pkg, st.Stmt, blocking)
+	}
+}
+
+// reportRegion flags every blocking construct and every call to a
+// blocking module function inside one statement of a lock region.
+func (c *checker) reportRegion(pkg *Package, stmt ast.Stmt, lockKey string, blocking map[*types.Func]*blockCause) {
+	for _, op := range c.blockingOps(pkg, stmt) {
+		c.report(op.pos, RuleLockBlocking, "%s while %q is held", op.what, lockKey)
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			callee := c.staticCallee(pkg, n)
+			if callee == nil {
+				return true
+			}
+			if cause := blocking[callee]; cause != nil {
+				c.report(n.Pos(), RuleLockBlocking,
+					"call to %s may block (%s) while %q is held", callee.FullName(), cause.what, lockKey)
+			}
+		}
+		return true
+	})
+}
+
+// blockingOps collects the directly blocking constructs under root,
+// excluding nested function literals and go statements. Channel
+// operations that are communication cases of a select with a default
+// clause are non-blocking by construction and excluded; a select
+// without a default is itself one blocking op.
+func (c *checker) blockingOps(pkg *Package, root ast.Node) []blockingOp {
+	var ops []blockingOp
+	skipComm := map[ast.Stmt]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					skipComm[cc.Comm] = true
+				}
+			}
+			if !hasDefault {
+				ops = append(ops, blockingOp{pos: n.Pos(), what: "select with no default case"})
+			}
+		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		if st, ok := n.(ast.Stmt); ok && skipComm[st] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			ops = append(ops, blockingOp{pos: n.Pos(), what: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ops = append(ops, blockingOp{pos: n.Pos(), what: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ops = append(ops, blockingOp{pos: n.Pos(), what: "range over a channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if what := c.blockingCallDesc(pkg, n); what != "" {
+				ops = append(ops, blockingOp{pos: n.Pos(), what: what})
+			}
+		}
+		return true
+	})
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// blockingCallDesc describes a call into the standard library that can
+// block: time.Sleep, anything in net (including net/http and friends —
+// interface methods like net.Conn.Write resolve through Selections),
+// and the parking sync calls (WaitGroup.Wait, Cond.Wait).
+func (c *checker) blockingCallDesc(pkg *Package, call *ast.CallExpr) string {
+	if se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel, ok := pkg.Info.Selections[se]; ok {
+			obj := sel.Obj()
+			if p := obj.Pkg(); p != nil {
+				if netPkgPath(p.Path()) {
+					return "net I/O (" + obj.Name() + ")"
+				}
+				if p.Path() == "sync" && obj.Name() == "Wait" {
+					return "blocking sync call (Wait)"
+				}
+			}
+		}
+	}
+	fn := c.staticCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "time" && name == "Sleep":
+		return "time.Sleep"
+	case netPkgPath(path):
+		return "net I/O (" + name + ")"
+	case path == "sync" && name == "Wait":
+		return "blocking sync call (Wait)"
+	}
+	return ""
+}
+
+// netPkgPath reports whether path is package net or one of its
+// subpackages (net/http, ...).
+func netPkgPath(path string) bool {
+	return path == "net" || strings.HasPrefix(path, "net/")
+}
+
+// lockCall inspects a call expression for sync.Mutex/RWMutex lock
+// traffic: x.Lock/RLock (acquire=true) and x.Unlock/RUnlock
+// (acquire=false), keyed by the receiver expression's source text.
+func (c *checker) lockCall(pkg *Package, expr ast.Expr) (key string, acquire, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	se, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch se.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	sel, found := pkg.Info.Selections[se]
+	if !found {
+		return "", false, false
+	}
+	obj := sel.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	return types.ExprString(se.X), acquire, true
+}

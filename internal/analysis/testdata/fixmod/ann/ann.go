@@ -1,7 +1,7 @@
 // Package ann seeds malformed vegapunk directives. The annotation rule
 // reports on the directive lines themselves, where no want marker can
 // ride along without changing the directive's meaning, so the test
-// asserts these positions explicitly: lines 8, 10, 11, 12 and 13.
+// asserts these positions explicitly: lines 8 and 10 through 17.
 package ann
 
 func misuse() int {
@@ -11,5 +11,9 @@ func misuse() int {
 	//vegapunk:allow(bogus) not a rule id
 	//vegapunk:allow(alloc missing close paren
 	//vegapunk:frobnicate
+	//vegapunk:goroutine
+	//vegapunk:goroutine(reaper missing close paren
+	//vegapunk:goroutine() no owner named
+	//vegapunk:goroutine(reaper)
 	return x
 }

@@ -1,0 +1,55 @@
+// Package atomics seeds atomic-mix violations: a field or variable
+// touched through the function-style sync/atomic API anywhere in the
+// module must never be read or written plainly.
+package atomics
+
+import "sync/atomic"
+
+type counter struct {
+	n uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.n, 1) // clean: the sanctioned atomic access
+}
+
+func read(c *counter) uint64 {
+	return c.n // want(atomic-mix)
+}
+
+func reset(c *counter) {
+	c.n = 0 // want(atomic-mix)
+}
+
+var hits int64
+
+func hit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func total() int64 {
+	return hits // want(atomic-mix)
+}
+
+func snapshot(c *counter) uint64 {
+	return atomic.LoadUint64(&c.n) // clean: atomic read of an atomic field
+}
+
+func fresh() *counter {
+	return &counter{n: 0} // clean: a composite-literal key names the field, it does not access it
+}
+
+func audited(c *counter) uint64 {
+	return c.n //vegapunk:allow(atomic) fixture: single-goroutine construction phase, not yet published
+}
+
+// typed uses the typed atomics, which make a mixed plain access a type
+// error; the rule has nothing to add.
+type typed struct {
+	v atomic.Uint64
+}
+
+func bumpTyped(t *typed) uint64 {
+	t.v.Add(1)
+	return t.v.Load()
+}

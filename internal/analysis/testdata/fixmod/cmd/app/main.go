@@ -15,7 +15,7 @@ func cleanup() error { return nil }
 func main() {
 	mayFail()       // want(err-unchecked)
 	defer cleanup() // want(err-unchecked)
-	go mayFail()    // want(err-unchecked)
+	go mayFail()    // want(err-unchecked) want(goroutine-lifecycle)
 	fmt.Println("fmt is exempt")
 	if err := mayFail(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,42 @@
+// Package ctxflow seeds the parameter-forwarding half of the
+// ctx-propagate rule: it lives outside the serving layers, so minting
+// a root context is only a violation in a function that already
+// receives one.
+package ctxflow
+
+import "context"
+
+// lookup receives a context but mints its own root, detaching the
+// bounded call from its caller's deadline.
+func lookup(ctx context.Context, key string) string {
+	c, cancel := context.WithTimeout(context.Background(), 0) // want(ctx-propagate)
+	defer cancel()
+	_ = c
+	_ = ctx
+	return key
+}
+
+func todoInstead(ctx context.Context) context.Context {
+	return context.TODO() // want(ctx-propagate)
+}
+
+func variadicCtx(xs []int, ctx context.Context) error {
+	_ = context.Background() // want(ctx-propagate)
+	_ = xs
+	return ctx.Err()
+}
+
+// root has no context parameter and is outside the serving layers:
+// minting a root here is the normal way to start a lifetime.
+func root() context.Context {
+	return context.Background() // clean: no inbound context to forward
+}
+
+func forwards(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // clean: derives from the parameter
+}
+
+func allowedRoot(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() //vegapunk:allow(ctx) fixture: detached audit trail must outlive the request
+}

@@ -43,7 +43,7 @@ func Alloc(s *sink, n int, name string) {
 //
 //vegapunk:hotpath
 func Spawn(n int) int {
-	go tick()           // want(hotpath-alloc)
+	go tick()           // want(hotpath-alloc) want(goroutine-lifecycle)
 	f := func() { n++ } // want(hotpath-alloc)
 	f()
 	g := func() int { return 7 } // non-capturing: clean

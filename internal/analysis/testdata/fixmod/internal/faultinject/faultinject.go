@@ -17,7 +17,7 @@ func drain() error { return nil }
 func Trip() {
 	inject()      // want(err-unchecked)
 	defer drain() // want(err-unchecked)
-	go inject()   // want(err-unchecked)
+	go inject()   // want(err-unchecked) want(goroutine-lifecycle)
 	_ = inject()  // clean: explicitly discarded
 	var sb strings.Builder
 	sb.WriteByte('x') // clean: strings.Builder never returns an error

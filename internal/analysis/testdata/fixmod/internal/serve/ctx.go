@@ -1,0 +1,33 @@
+// ctx.go seeds the scope half of the ctx-propagate rule: this package
+// models the real internal/serve, where context roots are banned
+// outright — every operation is bounded by a request deadline or the
+// component lifetime, so Background/TODO may appear only at annotated
+// lifecycle roots.
+package serve
+
+import "context"
+
+func detach() context.Context {
+	return context.Background() // want(ctx-propagate)
+}
+
+func todoDetach() context.Context {
+	return context.TODO() // want(ctx-propagate)
+}
+
+// reroot is doubly wrong — in scope and shadowing an inbound context —
+// and reports under the stricter in-scope message.
+func reroot(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want(ctx-propagate)
+}
+
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // clean: derives from the caller's ctx
+}
+
+// lifetimeRoot is the sanctioned shape: an annotated lifecycle root.
+func lifetimeRoot() (context.Context, context.CancelFunc) {
+	//vegapunk:allow(ctx) fixture: service-lifetime root, cancelled by the owner's Close
+	return context.WithCancel(context.Background())
+}

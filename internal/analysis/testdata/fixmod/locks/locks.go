@@ -1,0 +1,97 @@
+// Package locks seeds lock-blocking violations: channel operations,
+// time.Sleep and calls to (transitively) blocking module functions
+// while a sync.Mutex or RWMutex is held.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func sendHeld(b *box) {
+	b.mu.Lock()
+	b.ch <- b.n // want(lock-blocking)
+	b.mu.Unlock()
+}
+
+func recvHeld(b *box) {
+	b.mu.Lock()
+	b.n = <-b.ch // want(lock-blocking)
+	b.mu.Unlock()
+}
+
+func sleepHeld(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want(lock-blocking)
+}
+
+func selectHeld(b *box) {
+	b.mu.Lock()
+	select { // want(lock-blocking)
+	case v := <-b.ch:
+		b.n = v
+	case b.ch <- b.n:
+	}
+	b.mu.Unlock()
+}
+
+// callsBlocker never blocks in its own body, but drain does: the
+// escalation walks the static call edge.
+func callsBlocker(b *box) {
+	b.mu.Lock()
+	drain(b) // want(lock-blocking)
+	b.mu.Unlock()
+}
+
+func drain(b *box) {
+	b.n = <-b.ch
+}
+
+type rbox struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func readHeld(r *rbox) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return <-r.ch // want(lock-blocking)
+}
+
+func unlockFirst(b *box) int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	b.ch <- n // clean: the lock is released before the send
+	return n
+}
+
+func tryHeld(b *box) {
+	b.mu.Lock()
+	select { // clean: the default case makes both comm ops non-blocking
+	case b.ch <- b.n:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func allowed(b *box) {
+	b.mu.Lock()
+	b.ch <- b.n //vegapunk:allow(block) fixture: the channel has spare capacity by construction
+	b.mu.Unlock()
+}
+
+// prunedEdge calls drain under the lock but vouches for it: the allow
+// on the call line prunes the escalation edge.
+func prunedEdge(b *box) {
+	b.mu.Lock()
+	drain(b) //vegapunk:allow(block) fixture: drain's receive is primed before the lock is taken
+	b.mu.Unlock()
+}

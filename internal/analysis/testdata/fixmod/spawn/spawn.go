@@ -1,0 +1,60 @@
+// Package spawn seeds goroutine-lifecycle violations: every go
+// statement must be structurally tied to a bounded lifecycle
+// (WaitGroup Done, channel receive, or range over a channel in the
+// spawned body) or carry a //vegapunk:goroutine(<owner>) annotation.
+package spawn
+
+import "sync"
+
+func work() {}
+
+func bare() {
+	go work() // want(goroutine-lifecycle)
+}
+
+func anon(n int) {
+	go func() { // want(goroutine-lifecycle)
+		_ = n
+	}()
+}
+
+func fireForget(ch chan int) {
+	// A send is not lifecycle evidence: nothing proves a receiver exists.
+	go func() { // want(goroutine-lifecycle)
+		ch <- 1
+	}()
+}
+
+func waited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // clean: Done ties the goroutine to the owner's Wait
+		defer wg.Done()
+		work()
+	}()
+}
+
+func ranged(ch chan int) {
+	go func() { // clean: the loop ends when the owner closes ch
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func parked(done chan struct{}) {
+	go func() { // clean: parked on done; the owner closes it
+		<-done
+		work()
+	}()
+}
+
+func annotated() {
+	go work() //vegapunk:goroutine(annotated) fixture: process-lifetime helper reaped at exit
+}
+
+func annotatedAbove(n int) {
+	//vegapunk:goroutine(annotatedAbove) fixture: standalone directive covers the spawn below
+	go func() {
+		_ = n
+	}()
+}

@@ -229,7 +229,7 @@ func New(cfg Config) (*Router, error) {
 		rep.state.Store(int32(StateHealthy))
 		r.replicas = append(r.replicas, rep)
 	}
-	go r.probeLoop()
+	go r.probeLoop() //vegapunk:goroutine(Router.Shutdown) parks on probeStop; Shutdown closes it and receives probeDone
 	return r, nil
 }
 
@@ -389,17 +389,27 @@ func (r *Router) Shutdown(ctx context.Context) error {
 	}
 	<-r.probeDone
 
+	// Snapshot under the lock, close outside it: Close/SetReadDeadline
+	// are syscalls and must not run while mu is held — Serve's accept
+	// loop and every conn handler's exit path contend on mu (the
+	// lock-blocking contract).
 	r.mu.Lock()
-	for _, l := range r.ls {
-		_ = l.Close() // best-effort: double close on repeated Shutdown is fine
-	}
+	ls := r.ls
 	r.ls = nil
+	open := make([]net.Conn, 0, len(r.conns))
 	for c := range r.conns {
-		_ = c.SetReadDeadline(time.Now()) // best-effort: interrupt the idle read
+		open = append(open, c)
 	}
 	r.mu.Unlock()
+	for _, l := range ls {
+		_ = l.Close() // best-effort: double close on repeated Shutdown is fine
+	}
+	for _, c := range open {
+		_ = c.SetReadDeadline(time.Now()) // best-effort: interrupt the idle read
+	}
 
 	done := make(chan struct{})
+	//vegapunk:goroutine(Router.Shutdown) drain watcher: unblocks when the last conn handler calls wg.Done; Shutdown always receives done before returning
 	go func() {
 		r.wg.Wait()
 		close(done)
@@ -410,10 +420,14 @@ func (r *Router) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 		r.mu.Lock()
+		open = open[:0]
 		for c := range r.conns {
-			_ = c.Close() // best-effort: force close at deadline
+			open = append(open, c)
 		}
 		r.mu.Unlock()
+		for _, c := range open {
+			_ = c.Close() // best-effort: force close at deadline
+		}
 		<-done
 	}
 	for _, rep := range r.replicas {

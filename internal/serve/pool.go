@@ -47,7 +47,7 @@ func NewPool(factory core.Factory, size int) *Pool {
 		permits: make(chan struct{}, size),
 	}
 	for i := 0; i < size; i++ {
-		p.permits <- struct{}{}
+		p.permits <- struct{}{} //vegapunk:allow(block) fills a freshly made buffered channel to its exact capacity; cannot block
 	}
 	return p
 }

@@ -80,6 +80,7 @@ func (s *Service) newRunner() *runner {
 			r.outs[i] = gf2.NewVec(s.model.NumMech())
 		}
 	}
+	//vegapunk:goroutine(Service.worker) ranges over in; the worker closes in on exit or abandons the runner after a hang (the closed in ends its loop when the decode returns)
 	go r.run() //vegapunk:allow(alloc) one goroutine per runner lifetime, not per decode
 	return r
 }

@@ -143,6 +143,13 @@ type Service struct {
 	mu     sync.RWMutex // guards closed vs. sends on in
 	closed bool
 
+	// lifeCtx is the service-lifetime context the dispatch goroutines
+	// acquire pool permits under: deliberately detached from any single
+	// request (a worker drains admitted requests during Close) and
+	// cancelled only after the workers have exited.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -182,10 +189,12 @@ func newService(key string, model *dem.Model, decoderName string, factory core.F
 	s.ladder.maxTier = cfg.maxDegradeTier()
 	s.ladder.queueHigh = int64(cfg.DegradeQueueHigh)
 	s.ladder.hold = int64(cfg.DegradeHold)
+	//vegapunk:allow(ctx) service-lifetime root: workers outlive any single request; cancelled by Close after the drain
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	s.wg.Add(1 + cfg.Workers)
-	go s.batcher()
+	go s.batcher() //vegapunk:goroutine(Service.Close) exits when Close closes in; reaped by wg.Wait
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker() //vegapunk:goroutine(Service.Close) exits when the batcher closes work; reaped by wg.Wait
 	}
 	return s
 }
@@ -276,6 +285,7 @@ func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error
 		s.putReq(req)
 		return nil, ErrClosed
 	}
+	//vegapunk:allow(block) the RLock must span the send: it fences Close's closed+close(in) transition (send on closed chan panics); the send itself is bounded by ctx and the batcher drain
 	select {
 	case s.in <- req:
 		s.mu.RUnlock()
@@ -343,6 +353,7 @@ func (s *Service) Close() {
 		s.mu.Unlock()
 	})
 	s.wg.Wait()
+	s.lifeCancel()
 }
 
 // batcher accumulates requests into micro-batches. A batch flushes when
@@ -455,8 +466,8 @@ func (s *Service) worker() {
 	}
 	w.r = s.newRunner() //vegapunk:allow(alloc) one decode runner per worker lifetime; replaced only on quarantine
 	for b := range s.work {
-		dec, err := s.pool.Acquire(context.Background())
-		if err != nil { // unreachable with Background, kept for safety
+		dec, err := s.pool.Acquire(s.lifeCtx)
+		if err != nil { // unreachable: lifeCtx is cancelled only after workers exit
 			panic(err)
 		}
 		w.dec = dec
@@ -497,8 +508,8 @@ func (s *Service) quarantine(w *workerState, hung bool) {
 		close(w.r.in)
 		w.r = s.newRunner() //vegapunk:allow(alloc) replacement runner after a hung decode; fault path, not steady state
 	}
-	dec, err := s.pool.Acquire(context.Background())
-	if err != nil { // unreachable with Background, kept for safety
+	dec, err := s.pool.Acquire(s.lifeCtx)
+	if err != nil { // unreachable: lifeCtx is cancelled only after workers exit
 		panic(err)
 	}
 	w.dec = dec

@@ -78,19 +78,29 @@ func (s *Server) SetWireDraining(v bool) { s.wireDraining.Store(v) }
 // expires is force-closed.
 func (s *Server) shutdownWire(ctx context.Context) {
 	s.wireDraining.Store(true)
+	// Snapshot under the lock, close outside it: Close/SetReadDeadline
+	// are syscalls and must not run while wireMu is held — a stalled
+	// socket teardown would stall every accept and handler exit too
+	// (the lock-blocking contract).
 	s.wireMu.Lock()
-	for _, l := range s.wireLs {
-		_ = l.Close() // best-effort: double close on repeated Shutdown is fine
-	}
+	ls := s.wireLs
 	s.wireLs = nil
-	// Interrupt idle blocking reads; handlers then observe the drain
-	// flag and exit after flushing their current batch.
+	conns := make([]net.Conn, 0, len(s.wireConns))
 	for c := range s.wireConns {
-		_ = c.SetReadDeadline(time.Now()) // best-effort: a broken conn is already on its way out
+		conns = append(conns, c)
 	}
 	s.wireMu.Unlock()
+	for _, l := range ls {
+		_ = l.Close() // best-effort: double close on repeated Shutdown is fine
+	}
+	// Interrupt idle blocking reads; handlers then observe the drain
+	// flag and exit after flushing their current batch.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now()) // best-effort: a broken conn is already on its way out
+	}
 
 	done := make(chan struct{})
+	//vegapunk:goroutine(Server.shutdownWire) drain watcher: unblocks when the last conn handler calls wireWG.Done; shutdownWire always receives done before returning
 	go func() {
 		s.wireWG.Wait()
 		close(done)
@@ -99,10 +109,14 @@ func (s *Server) shutdownWire(ctx context.Context) {
 	case <-done:
 	case <-ctx.Done():
 		s.wireMu.Lock()
+		conns = conns[:0]
 		for c := range s.wireConns {
-			_ = c.Close() // best-effort: force close at deadline
+			conns = append(conns, c)
 		}
 		s.wireMu.Unlock()
+		for _, c := range conns {
+			_ = c.Close() // best-effort: force close at deadline
+		}
 		<-done
 	}
 }
