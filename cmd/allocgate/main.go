@@ -38,7 +38,9 @@ var defaultPins = []struct {
 	{"BenchmarkServiceDecode$", []string{"./internal/serve"}},
 	{"BenchmarkServiceDecodeBatch64$", []string{"./internal/serve"}},
 	{"BenchmarkWireAppendDecode$", []string{"./internal/wire"}},
+	{"BenchmarkWireAppendDecodeTraced$", []string{"./internal/wire"}},
 	{"BenchmarkWireParseResult$", []string{"./internal/wire"}},
+	{"BenchmarkWireParseResultTimed$", []string{"./internal/wire"}},
 	{"BenchmarkRouterPick$", []string{"./internal/cluster"}},
 }
 

@@ -60,7 +60,9 @@ var pins = []struct {
 	{"BenchmarkServiceDecodeBatch64$", "./internal/serve"},
 	{"BenchmarkServiceDecodeBatch64Serial$", "./internal/serve"},
 	{"BenchmarkWireAppendDecode$", "./internal/wire"},
+	{"BenchmarkWireAppendDecodeTraced$", "./internal/wire"},
 	{"BenchmarkWireParseResult$", "./internal/wire"},
+	{"BenchmarkWireParseResultTimed$", "./internal/wire"},
 	{"BenchmarkRouterPick$", "./internal/cluster"},
 }
 
@@ -171,6 +173,10 @@ func runMeasure(dir string, issue int, benchtime string, requests, batch, client
 	if j, b := protoByName(protoLoads, "json-http"), protoByName(protoLoads, "binary"); j != nil && b != nil {
 		fmt.Fprintf(os.Stderr, "binary vs json-http at equal load: %.2fx QPS, %.2fx p99\n",
 			b.QPS/j.QPS, float64(j.P99Ns)/float64(max64(b.P99Ns, 1)))
+	}
+	if b, tel := protoByName(protoLoads, "binary"), protoByName(protoLoads, "binary-telemetry"); b != nil && tel != nil {
+		fmt.Fprintf(os.Stderr, "telemetry cost on the binary path: %.2f%% QPS\n",
+			100*(1-tel.QPS/b.QPS))
 	}
 
 	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", issue))
@@ -343,8 +349,7 @@ func runProtoLoads(requests, batchSize, clients int) ([]protoLoad, error) {
 	}()
 
 	syndromes := sampleSyndromes(model, requests*batchSize)
-	var out []protoLoad
-	for _, run := range []struct {
+	runs := []struct {
 		proto string
 		drive func() ([]int64, time.Duration, error)
 	}{
@@ -352,28 +357,48 @@ func runProtoLoads(requests, batchSize, clients int) ([]protoLoad, error) {
 			return driveJSON("http://"+httpL.Addr().String(), key, syndromes, requests, batchSize, clients)
 		}},
 		{"binary", func() ([]int64, time.Duration, error) {
-			return driveBinary(wireL.Addr().String(), key, syndromes, requests, batchSize, clients)
+			return driveBinary(wireL.Addr().String(), key, syndromes, requests, batchSize, clients, false)
+		}},
+		{"binary-telemetry", func() ([]int64, time.Duration, error) {
+			return driveBinary(wireL.Addr().String(), key, syndromes, requests, batchSize, clients, true)
 		}},
 		{"binary-router", func() ([]int64, time.Duration, error) {
-			return driveBinary(routerL.Addr().String(), key, syndromes, requests, batchSize, clients)
+			return driveBinary(routerL.Addr().String(), key, syndromes, requests, batchSize, clients, false)
 		}},
-	} {
-		lats, elapsed, err := run.drive()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", run.proto, err)
+	}
+	// Interleaved best-of-N rounds: measuring each path once, in
+	// sequence, lets machine drift on a shared runner masquerade as a
+	// path-level regression (the later paths always eat the slowdown).
+	// Alternating rounds spread the drift evenly, and keeping each
+	// path's best round reports the least-interfered measurement —
+	// which is what makes the binary vs binary-telemetry delta an
+	// honest read of the telemetry cost.
+	const protoRounds = 3
+	out := make([]protoLoad, len(runs))
+	for round := 0; round < protoRounds; round++ {
+		for ri, run := range runs {
+			lats, elapsed, err := run.drive()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", run.proto, err)
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			qps := float64(requests) / elapsed.Seconds()
+			if round == 0 || qps > out[ri].QPS {
+				out[ri] = protoLoad{
+					Proto:    run.proto,
+					Requests: requests,
+					Batch:    batchSize,
+					Clients:  clients,
+					QPS:      qps,
+					P50Ns:    lats[len(lats)/2],
+					P99Ns:    lats[len(lats)*99/100],
+				}
+			}
 		}
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		out = append(out, protoLoad{
-			Proto:    run.proto,
-			Requests: requests,
-			Batch:    batchSize,
-			Clients:  clients,
-			QPS:      float64(requests) / elapsed.Seconds(),
-			P50Ns:    lats[len(lats)/2],
-			P99Ns:    lats[len(lats)*99/100],
-		})
-		fmt.Fprintf(os.Stderr, "  %-13s qps=%.0f p50=%s p99=%s\n", run.proto,
-			out[len(out)-1].QPS, time.Duration(out[len(out)-1].P50Ns), time.Duration(out[len(out)-1].P99Ns))
+	}
+	for _, p := range out {
+		fmt.Fprintf(os.Stderr, "  %-13s qps=%.0f p50=%s p99=%s\n", p.Proto,
+			p.QPS, time.Duration(p.P50Ns), time.Duration(p.P99Ns))
 	}
 	return out, nil
 }
@@ -449,7 +474,11 @@ func postJSON(client *http.Client, base string, body []byte) error {
 
 // driveBinary measures client-observed round trips for pipelined wire
 // frame batches on persistent connections (one per client goroutine).
-func driveBinary(addr, key string, syndromes []gf2.Vec, requests, batchSize, clients int) ([]int64, time.Duration, error) {
+// With telemetry set, every request carries a trace block and every
+// response is parsed with its server-timing block — the telemetry-on
+// vs telemetry-off pair that bounds the extension's cost on the binary
+// path.
+func driveBinary(addr, key string, syndromes []gf2.Vec, requests, batchSize, clients int, telemetry bool) ([]int64, time.Duration, error) {
 	lats := make([]int64, requests)
 	errs := make(chan error, clients)
 	conns := make([]*wire.Client, clients)
@@ -483,17 +512,30 @@ func driveBinary(addr, key string, syndromes []gf2.Vec, requests, batchSize, cli
 			}
 			var res wire.Result
 			wire.SizeResult(&res, info.NumMech, info.NumObs)
+			var tm wire.ServerTiming
 			for i := cl; i < requests; i += clients {
 				t0 := time.Now()
 				for j := 0; j < batchSize; j++ {
-					c.QueueDecode(info.ID, uint64(i*batchSize+j), syndromes[i*batchSize+j])
+					reqID := uint64(i*batchSize + j)
+					if telemetry {
+						c.QueueDecodeTraced(info.ID, reqID, syndromes[reqID],
+							wire.TraceContext{TraceID: reqID + 1})
+					} else {
+						c.QueueDecode(info.ID, reqID, syndromes[reqID])
+					}
 				}
 				if err := c.Flush(); err != nil {
 					errs <- err
 					return
 				}
 				for j := 0; j < batchSize; j++ {
-					if _, err := c.ReadResult(&res); err != nil {
+					var err error
+					if telemetry {
+						_, _, err = c.ReadResultTimed(&res, &tm)
+					} else {
+						_, err = c.ReadResult(&res)
+					}
+					if err != nil {
 						errs <- err
 						return
 					}

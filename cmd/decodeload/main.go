@@ -107,6 +107,15 @@ type tally struct {
 
 	// Server-reported per-stage sums (ns) across all syndromes.
 	queueWaitNs, decodeNs, copyOutNs int64
+
+	// Network-vs-server split (binary proto only, from the wire
+	// telemetry extension): per ok request, the replica-resident time is
+	// the largest lane's reported queue+decode+copy-out span (lanes of
+	// one pipelined batch decode together, so their spans overlap and
+	// must not be summed); the remainder of the client wall clock is
+	// transport + router relay.
+	netNs, serverNs int64
+	timedReqs       int
 }
 
 func main() {
@@ -127,6 +136,7 @@ func run() int {
 	concurrency := fs.Int("concurrency", 4, "concurrent client connections")
 	seed := fs.Uint64("seed", 1, "reproducible workload seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	traceSample := fs.Uint64("trace-sample", 0, "binary proto: mark one in N requests trace-sampled so the daemon/router record their spans (0 = timing blocks only, no sampling)")
 	chaosMode := fs.Bool("chaos", false, "resilience run against a -chaos daemon: individual request failures are expected; exit 0 iff every request reached a terminal outcome and at least one succeeded")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
@@ -194,7 +204,7 @@ func run() int {
 		go func() {
 			defer wg.Done()
 			if *proto == "binary" {
-				binaryWorker(&tl, &next, items, target, key, *timeout, logger)
+				binaryWorker(&tl, &next, items, target, key, *timeout, *traceSample, logger)
 			} else {
 				jsonWorker(&tl, &next, items, target, *timeout)
 			}
@@ -248,6 +258,17 @@ func run() int {
 	// decoder call, or the pool-boundary copy-out.
 	fmt.Printf("decodeload: stages queue_wait_mean=%s decode_mean=%s copy_out_mean=%s\n",
 		perSyn(tl.queueWaitNs), perSyn(tl.decodeNs), perSyn(tl.copyOutNs))
+	// Network-vs-server split (binary proto only): server_mean is the
+	// replica-reported resident time per ok request from the wire
+	// telemetry blocks; network_mean is the rest of the client wall
+	// clock (transport plus router relay).
+	if tl.timedReqs > 0 {
+		perReq := func(sum int64) time.Duration {
+			return time.Duration(sum / int64(tl.timedReqs)).Round(time.Microsecond)
+		}
+		fmt.Printf("decodeload: split network_mean=%s server_mean=%s timed_requests=%d\n",
+			perReq(tl.netNs), perReq(tl.serverNs), tl.timedReqs)
+	}
 	if *chaosMode {
 		// Chaos contract: shed, rejected and faulted requests are the
 		// resilience machinery doing its job; the run only fails if the
@@ -325,7 +346,7 @@ func jsonWorker(tl *tally, next *atomic.Int64, items []workItem, addr string, ti
 // its first failed lane (Overload → rejected_503, Shed/Timeout →
 // timeouts_504, DecoderFault/Internal → decoder_faults). On transport
 // loss the worker reconnects once per item before failing it.
-func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key string, timeout time.Duration, logger *log.Logger) {
+func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key string, timeout time.Duration, traceSample uint64, logger *log.Logger) {
 	addr = strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
 	var (
 		c    *wire.Client
@@ -368,30 +389,43 @@ func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key str
 			continue
 		}
 
+		// Every request carries a telemetry block (so the server reports
+		// timings back); the sampled bit — which makes the daemon and
+		// router record spans — is set on one in -trace-sample requests.
+		sampled := traceSample > 0 && uint64(i)%traceSample == 0
 		start := time.Now()
 		for j, syn := range item.syns {
-			c.QueueDecode(info.ID, uint64(i)<<16|uint64(j), syn)
+			reqID := uint64(i)<<16 | uint64(j)
+			c.QueueDecodeTraced(info.ID, reqID, syn,
+				wire.TraceContext{TraceID: reqID + 1, Sampled: sampled})
 		}
 		type laneOut struct {
 			status      wire.Status
 			flags       wire.Flags
 			tier        uint8
 			match       bool
+			timed       bool
 			queueWaitNs int64
 			decodeNs    int64
 			copyOutNs   int64
+			serverNs    int64
 		}
 		lanes := make([]laneOut, 0, len(item.syns))
 		transport := c.Flush() != nil
 		if !transport {
+			var tm wire.ServerTiming
 			for j := range item.syns {
-				h, err := c.ReadResult(&res)
+				h, timed, err := c.ReadResultTimed(&res, &tm)
 				if err != nil || h.ReqID != uint64(i)<<16|uint64(j) {
 					transport = true
 					break
 				}
 				lo := laneOut{status: res.Status, flags: h.Flags, tier: res.Tier,
 					queueWaitNs: res.QueueWaitNs, decodeNs: res.DecodeNs, copyOutNs: res.CopyOutNs}
+				if timed {
+					lo.timed = true
+					lo.serverNs = tm.ServerNs()
+				}
 				if res.Status == wire.StatusOK {
 					lo.match = res.Observables.String() == item.actual[j]
 				}
@@ -421,16 +455,30 @@ func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key str
 			tl.transportErrs++
 		case firstBad == wire.StatusOK:
 			tl.latencies = append(tl.latencies, lat)
+			serverReqNs, anyTimed := int64(0), false
 			for _, lo := range lanes {
 				tl.syndromes++
 				tl.queueWaitNs += lo.queueWaitNs
 				tl.decodeNs += lo.decodeNs
 				tl.copyOutNs += lo.copyOutNs
+				if lo.timed {
+					anyTimed = true
+					if s := lo.serverNs; s > serverReqNs {
+						serverReqNs = s
+					}
+				}
 				if lo.tier > 0 {
 					tl.degraded++
 				}
 				if !lo.match {
 					tl.failures++
+				}
+			}
+			if anyTimed {
+				tl.timedReqs++
+				tl.serverNs += serverReqNs
+				if net := lat.Nanoseconds() - serverReqNs; net > 0 {
+					tl.netNs += net
 				}
 			}
 		case firstBad == wire.StatusOverload:

@@ -12,7 +12,10 @@
 // a replica sheds or fast-fails are retried once on the next-best
 // healthy sibling with the retry flagged in the response. The admin
 // listener serves /metrics (per-replica health, retries, failovers,
-// open connections) and /healthz.
+// open connections, network-vs-server latency split, SLO burn) and
+// /healthz; with -replica-traces it also serves /debug/clustertrace,
+// a Chrome trace_event document merging the router's forwarding spans
+// with each replica's stage spans, clock-offset aligned.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight batches finish, then the
 // process exits 0.
@@ -45,6 +48,11 @@ func run() int {
 	ioTimeout := fs.Duration("io-timeout", 10*time.Second, "backend read/write timeout")
 	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "active health-probe period")
 	poolSize := fs.Int("pool", 4, "idle backend connections kept per replica")
+	replicaTraces := fs.String("replica-traces", "", "comma-separated replica debug base URLs (parallel to -replicas, entries may be empty) for /debug/clustertrace merging")
+	traceSample := fs.Uint64("trace-sample", 8, "trace one in every N router-originated requests (1 traces everything)")
+	sloTarget := fs.Duration("slo-target", 5*time.Millisecond, "per-request latency target for the rolling SLO window")
+	sloBudget := fs.Float64("slo-budget", 0.01, "tolerated fraction of requests over -slo-target")
+	sloWindow := fs.Int("slo-window", 1024, "requests held in the rolling SLO window")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -57,12 +65,23 @@ func run() int {
 			addrs = append(addrs, a)
 		}
 	}
+	var traceURLs []string
+	if *replicaTraces != "" {
+		for _, u := range strings.Split(*replicaTraces, ",") {
+			traceURLs = append(traceURLs, strings.TrimSpace(u))
+		}
+	}
 	rt, err := cluster.New(cluster.Config{
-		Replicas:      addrs,
-		DialTimeout:   *dialTimeout,
-		IOTimeout:     *ioTimeout,
-		ProbeInterval: *probeInterval,
-		PoolSize:      *poolSize,
+		Replicas:         addrs,
+		DialTimeout:      *dialTimeout,
+		IOTimeout:        *ioTimeout,
+		ProbeInterval:    *probeInterval,
+		PoolSize:         *poolSize,
+		TraceURLs:        traceURLs,
+		TraceSampleEvery: *traceSample,
+		SLOTarget:        *sloTarget,
+		SLOBudget:        *sloBudget,
+		SLOWindow:        *sloWindow,
 	})
 	if err != nil {
 		logger.Printf("%v", err)

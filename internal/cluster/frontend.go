@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"vegapunk/internal/obs"
 	"vegapunk/internal/wire"
 )
 
@@ -39,6 +40,17 @@ type feLane struct {
 	flags wire.Flags
 	resp  []byte // terminal response payload
 	done  bool
+
+	// Telemetry relay state. A client-traced lane (the client sent
+	// FlagTelemetry) relays payloads untouched both ways under the
+	// client's trace id; an untraced lane gets a router-originated trace
+	// block appended once to syn at gather time (so a retry re-sends the
+	// same id) and the replica's timing block stripped before the
+	// response relays back (strip).
+	traceID uint64
+	traced  bool // forward carries FlagTelemetry
+	sampled bool // router records a forward span for this lane
+	strip   bool // router-originated telemetry: trim before relaying
 }
 
 // feConn serves one client connection: it owns one backend connection
@@ -53,6 +65,7 @@ type feConn struct {
 	bconns   []*wire.Client
 	bgen     []uint64 // bumped when bconns[i] is replaced; invalidates cached model ids
 	lanes    []feLane
+	ring     *obs.Ring // router forward spans; single writer = this conn's goroutine
 }
 
 func newFEConn(rt *Router, conn net.Conn) *feConn {
@@ -62,6 +75,7 @@ func newFEConn(rt *Router, conn net.Conn) *feConn {
 		rd:     wire.NewReader(conn),
 		bconns: make([]*wire.Client, len(rt.replicas)),
 		bgen:   make([]uint64, len(rt.replicas)),
+		ring:   rt.acquireRing(),
 	}
 }
 
@@ -83,6 +97,7 @@ func (f *feConn) run() {
 				f.bconns[i] = nil
 			}
 		}
+		f.rt.releaseRing(f.ring)
 	}()
 	var (
 		h       wire.Header
@@ -246,6 +261,7 @@ func (f *feConn) decodeBatch(h wire.Header, payload []byte) (nh wire.Header, np 
 		ln.reqID = h.ReqID
 		ln.syn = append(ln.syn[:0], payload...) //vegapunk:allow(alloc) lane scratch grows to pipeline depth once per connection
 		ln.done = false
+		f.armTrace(ln, h.Flags)
 		k++
 		if k >= maxRouterPipeline || !f.rd.FrameBuffered() {
 			break
@@ -304,6 +320,34 @@ func (f *feConn) decodeBatch(h wire.Header, payload []byte) (nh wire.Header, np 
 	return h, payload, pending, nil
 }
 
+// armTrace sets a gathered lane's telemetry relay state. Client-traced
+// lanes (flag set, parseable v1 block at the payload tail) keep the
+// client's trace id and sampling bit and relay untouched both ways; a
+// flag with an unknown block version relays untouched too, with no
+// router-side sampling. Untraced lanes get a router-originated trace
+// block appended to the copied payload — once, here, so the retry path
+// re-sends the identical frame — and the timing block stripped off the
+// response before it reaches the client.
+//
+//vegapunk:hotpath
+func (f *feConn) armTrace(ln *feLane, flags wire.Flags) {
+	ln.traceID, ln.sampled, ln.strip = 0, false, false
+	ln.traced = flags&wire.FlagTelemetry != 0
+	if ln.traced {
+		if tc, ok := wire.PeekTraceContext(flags, ln.syn); ok {
+			ln.traceID = tc.TraceID
+			ln.sampled = tc.Sampled && f.rt.tracer.Enabled()
+		}
+		return
+	}
+	id := f.rt.tracer.NextID()
+	ln.traceID = id
+	ln.sampled = f.rt.tracer.ShouldSample(id)
+	ln.syn = wire.AppendTraceBlock(ln.syn, wire.TraceContext{TraceID: id, Sampled: ln.sampled})
+	ln.traced = true
+	ln.strip = true
+}
+
 // forward sends every undone lane to rep and records terminal
 // responses. Lanes answered with a retryable status stay undone unless
 // this is already the retry attempt; a transport failure leaves all
@@ -338,7 +382,11 @@ func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried boo
 		if lanes[i].done {
 			continue
 		}
-		c.QueueFrame(wire.OpDecode, 0, beID, lanes[i].reqID, lanes[i].syn)
+		var fl wire.Flags
+		if lanes[i].traced {
+			fl = wire.FlagTelemetry
+		}
+		c.QueueFrame(wire.OpDecode, fl, beID, lanes[i].reqID, lanes[i].syn)
 		n++
 	}
 	if n == 0 {
@@ -348,14 +396,19 @@ func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried boo
 		f.dropBackend(rep)
 		return
 	}
+	// flushTick opens every forward span for this batch: the frames are
+	// handed to the kernel, so replica-side work strictly follows it.
+	flushTick := obs.Tick()
 	// Responses arrive in request order over the undone lanes.
 	cursor := 0
+	var tm wire.ServerTiming
 	for resp := 0; resp < n; resp++ {
 		rh, rp, rerr := c.ReadFrame()
 		if rerr != nil {
 			f.dropBackend(rep)
 			return
 		}
+		recvTick := obs.Tick()
 		for cursor < len(lanes) && lanes[cursor].done {
 			cursor++
 		}
@@ -374,13 +427,27 @@ func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried boo
 		rep.observeFlags(rh.Flags)
 		ln := &lanes[cursor]
 		cursor++
+		wall := recvTick - flushTick
+		if status == wire.StatusOK && wire.PeekServerTiming(&tm, rh.Flags, rp) {
+			rep.observeTiming(wall, &tm, recvTick)
+		}
 		if status.Retryable() && !retried {
 			continue // stays undone; the sibling attempt re-sends it
+		}
+		f.rt.slo.observe(wall)
+		if ln.sampled {
+			f.ring.Record(obs.StageRouterForward, int32(rep.idx), uint32(ln.traceID), flushTick, recvTick)
 		}
 		ln.op = rh.Op
 		ln.flags = rh.Flags
 		if retried {
 			ln.flags |= wire.FlagRetried
+		}
+		if ln.strip {
+			// Router-originated telemetry: the client never asked for it,
+			// so the timing block and flag must not leak downstream.
+			ln.flags &^= wire.FlagTelemetry
+			rp = wire.TrimServerTiming(rh.Flags, rp)
 		}
 		ln.resp = append(ln.resp[:0], rp...) //vegapunk:allow(alloc) lane scratch grows to the response size once per connection
 		ln.done = true

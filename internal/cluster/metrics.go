@@ -8,8 +8,28 @@ import (
 	"vegapunk/internal/obs"
 )
 
+// latencyBuckets spans 1µs–1s, mirroring the replica-side serving
+// buckets so router-observed and replica-observed latencies line up
+// bucket for bucket in dashboards.
+func latencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1,
+	}
+}
+
 // replicaLabels renders a replica's label set.
 func replicaLabels(rep *replica) string { return fmt.Sprintf("replica=%q", rep.addr) }
+
+// writeFloatGauge emits one float-valued gauge sample (no header).
+func writeFloatGauge(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
+}
 
 // repCounterFam renders one per-replica counter family.
 func (r *Router) repCounterFam(w io.Writer, name, help string, get func(*replica) uint64) {
@@ -24,6 +44,14 @@ func (r *Router) repGaugeFam(w io.Writer, name, help string, get func(*replica) 
 	obs.WriteHeader(w, name, help, "gauge")
 	for _, rep := range r.replicas {
 		obs.WriteGaugeSample(w, name, replicaLabels(rep), get(rep))
+	}
+}
+
+// repHistFam renders one per-replica histogram family.
+func (r *Router) repHistFam(w io.Writer, name, help string, get func(*replica) *obs.Histogram) {
+	obs.WriteHeader(w, name, help, "histogram")
+	for _, rep := range r.replicas {
+		get(rep).WriteProm(w, name, replicaLabels(rep))
 	}
 }
 
@@ -57,15 +85,37 @@ func (r *Router) writeMetrics(w io.Writer) {
 		func(rep *replica) uint64 { return rep.dialErrors.Load() })
 	r.repGaugeFam(w, "vegapunk_router_replica_open_connections", "Backend wire connections open to this replica.",
 		func(rep *replica) int64 { return rep.open.Load() })
+	r.repHistFam(w, "vegapunk_router_replica_network_seconds", "Network share of relayed decode latency: router flush-to-response wall clock minus the replica-reported decode-path time.",
+		func(rep *replica) *obs.Histogram { return rep.netSeconds })
+	r.repHistFam(w, "vegapunk_router_replica_server_seconds", "Replica-reported decode-path time (queue wait + decode + copy out) of relayed decodes.",
+		func(rep *replica) *obs.Histogram { return rep.serverSeconds })
+	obs.WriteHeader(w, "vegapunk_router_replica_clock_offset_seconds", "Estimated replica clock minus router clock (running max of reported-tick minus receive-tick; 0 until a timed response arrives).", "gauge")
+	for _, rep := range r.replicas {
+		off := int64(0)
+		if rep.offsetKnown.Load() {
+			off = rep.clockOffset.Load()
+		}
+		writeFloatGauge(w, "vegapunk_router_replica_clock_offset_seconds", replicaLabels(rep), obs.DurSeconds(off))
+	}
+
+	burn, seen := r.slo.burn(int64(r.cfg.SLOTarget), r.cfg.SLOBudget)
+	obs.WriteHeader(w, "vegapunk_router_slo_target_seconds", "Per-request latency target the rolling SLO window scores against.", "gauge")
+	writeFloatGauge(w, "vegapunk_router_slo_target_seconds", "", r.cfg.SLOTarget.Seconds())
+	obs.WriteHeader(w, "vegapunk_router_slo_window_requests", "Relayed requests currently held in the rolling SLO window.", "gauge")
+	obs.WriteGaugeSample(w, "vegapunk_router_slo_window_requests", "", int64(seen))
+	obs.WriteHeader(w, "vegapunk_router_slo_burn", "Rolling-window SLO burn rate: fraction of requests over target divided by the error budget. Sustained > 1 burns the budget faster than allowed.", "gauge")
+	writeFloatGauge(w, "vegapunk_router_slo_burn", "", burn)
 }
 
-// Handler returns the admin surface: /metrics and /healthz.
+// Handler returns the admin surface: /metrics, /healthz and the merged
+// cluster trace.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.writeMetrics(w)
 	})
+	mux.HandleFunc("GET /debug/clustertrace", r.clusterTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		usable := 0
 		for _, rep := range r.replicas {

@@ -44,6 +44,21 @@ func TestRouterMetricsGolden(t *testing.T) {
 		t.Errorf("exposition lint violations:\n  %s", strings.Join(problems, "\n  "))
 	}
 
+	// The telemetry families are load-bearing for dashboards; a golden
+	// regeneration must not silently drop them.
+	for _, fam := range []string{
+		"vegapunk_router_replica_network_seconds",
+		"vegapunk_router_replica_server_seconds",
+		"vegapunk_router_replica_clock_offset_seconds",
+		"vegapunk_router_slo_target_seconds",
+		"vegapunk_router_slo_window_requests",
+		"vegapunk_router_slo_burn",
+	} {
+		if !strings.Contains(got, "# TYPE "+fam+" ") {
+			t.Errorf("exposition missing family %s", fam)
+		}
+	}
+
 	path := filepath.Join("testdata", "metrics.golden")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {

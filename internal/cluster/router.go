@@ -38,6 +38,29 @@ type Config struct {
 	// and 5s).
 	RedialBackoff    time.Duration
 	MaxRedialBackoff time.Duration
+
+	// TraceURLs are the base URLs of each replica's debug listener
+	// (e.g. "http://127.0.0.1:18472"), parallel to Replicas; entries
+	// may be empty. /debug/clustertrace fetches each replica's
+	// /debug/decodetrace from here and merges it with the router's own
+	// spans.
+	TraceURLs []string
+	// TraceSampleEvery traces one in every N router-originated requests
+	// end to end (default 8; 1 traces everything). Client requests that
+	// arrive with their own telemetry block keep the client's sampling
+	// decision.
+	TraceSampleEvery uint64
+	// SLOTarget is the per-request router latency target the rolling
+	// SLO window scores against (default 5ms).
+	SLOTarget time.Duration
+	// SLOBudget is the tolerated fraction of requests over SLOTarget
+	// (default 0.01). The exported vegapunk_router_slo_burn gauge is
+	// observed-violation-rate / SLOBudget: sustained > 1 means the
+	// error budget is burning faster than allowed.
+	SLOBudget float64
+	// SLOWindow is how many recent requests the rolling window holds
+	// (default 1024).
+	SLOWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +81,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRedialBackoff <= 0 {
 		c.MaxRedialBackoff = 5 * time.Second
+	}
+	if c.TraceSampleEvery == 0 {
+		c.TraceSampleEvery = 8
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 5 * time.Millisecond
+	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.01
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 1024
 	}
 	return c
 }
@@ -95,11 +130,14 @@ var errBackoff = errors.New("cluster: replica dial backoff open")
 // replica is one backend address: its health state, idle-connection
 // pool, dial backoff and per-replica counters.
 type replica struct {
-	addr  string
-	idx   int
-	hash  uint64
-	state atomic.Int32
-	idle  chan *wire.Client
+	addr string
+	idx  int
+	hash uint64
+	// traceURL is the base URL of the replica's debug listener, or ""
+	// (Config.TraceURLs); /debug/clustertrace fetches spans from it.
+	traceURL string
+	state    atomic.Int32
+	idle     chan *wire.Client
 	// nextDial gates redials: no dial before this obs tick.
 	nextDial  atomic.Int64
 	backoffNs atomic.Int64
@@ -108,6 +146,49 @@ type replica struct {
 	failovers  obs.Counter
 	dialErrors obs.Counter
 	open       obs.Gauge
+
+	// Telemetry split: router wall clock per relayed decode minus the
+	// replica-reported decode-path time (queue wait + decode + copy
+	// out) is network time; the remainder is server time.
+	netSeconds    *obs.Histogram
+	serverSeconds *obs.Histogram
+	// clockOffset estimates replicaClock − routerClock in nanoseconds:
+	// the running max of (reported server tick − router receive tick)
+	// over this replica's responses. Each observation lower-bounds the
+	// true offset by that response's one-way network delay, so the max
+	// over a connection's traffic converges from below — tight enough
+	// that a replica span realigned by it lands strictly inside the
+	// router span that covers it.
+	clockOffset atomic.Int64
+	offsetKnown atomic.Bool
+}
+
+// observeTiming records one relayed decode's network-vs-server split
+// and folds the replica's clock reading into the offset estimate.
+//
+//vegapunk:hotpath
+func (r *replica) observeTiming(wallNs int64, tm *wire.ServerTiming, recvTick int64) {
+	server := tm.ServerNs()
+	net := wallNs - server
+	if net < 0 {
+		net = 0
+	}
+	r.netSeconds.Observe(obs.DurSeconds(net))
+	r.serverSeconds.Observe(obs.DurSeconds(server))
+	if tm.ServerTick == 0 {
+		return
+	}
+	off := tm.ServerTick - recvTick
+	for {
+		cur := r.clockOffset.Load()
+		if r.offsetKnown.Load() && off <= cur {
+			return
+		}
+		if r.clockOffset.CompareAndSwap(cur, off) {
+			r.offsetKnown.Store(true)
+			return
+		}
+	}
 }
 
 // setState transitions the replica, counting Healthy/Draining→Down
@@ -203,6 +284,43 @@ type Router struct {
 	retries     obs.Counter
 	noReplica   obs.Counter
 	protoErrors obs.Counter
+
+	// tracer records the router's own forward spans (one ring per
+	// client connection) and issues trace ids for requests that arrive
+	// without one; slo scores every relayed request against the
+	// configured latency target.
+	tracer *obs.Tracer
+	slo    *sloWindow
+
+	// ringFree recycles span rings across client connections: a ring
+	// registers with the tracer once and is then handed from closed
+	// connections to new ones, so connection churn does not grow the
+	// tracer's ring set without bound. The mutex hand-off provides the
+	// happens-before edge the single-writer Ring contract needs.
+	ringMu   sync.Mutex
+	ringFree []*obs.Ring
+}
+
+// acquireRing hands a span ring to a client-connection goroutine,
+// reusing one from a closed connection when available.
+func (r *Router) acquireRing() *obs.Ring {
+	r.ringMu.Lock()
+	defer r.ringMu.Unlock()
+	if n := len(r.ringFree); n > 0 {
+		rg := r.ringFree[n-1]
+		r.ringFree = r.ringFree[:n-1]
+		return rg
+	}
+	return r.tracer.Ring()
+}
+
+// releaseRing returns a connection's ring to the free list. Spans from
+// the closed connection stay in the ring until overwritten — they are
+// completed spans and remain valid trace output.
+func (r *Router) releaseRing(rg *obs.Ring) {
+	r.ringMu.Lock()
+	r.ringFree = append(r.ringFree, rg)
+	r.ringMu.Unlock()
 }
 
 // New builds a router over the replica set and starts its health-probe
@@ -218,13 +336,20 @@ func New(cfg Config) (*Router, error) {
 		conns:     map[net.Conn]struct{}{},
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
+		tracer:    obs.NewTracer(obs.TracerConfig{SampleEvery: cfg.TraceSampleEvery}),
+		slo:       newSLOWindow(cfg.SLOWindow),
 	}
 	for i, addr := range cfg.Replicas {
 		rep := &replica{
-			addr: addr,
-			idx:  i,
-			hash: hash64(addr),
-			idle: make(chan *wire.Client, cfg.PoolSize),
+			addr:          addr,
+			idx:           i,
+			hash:          hash64(addr),
+			idle:          make(chan *wire.Client, cfg.PoolSize),
+			netSeconds:    obs.NewHistogram(latencyBuckets()...),
+			serverSeconds: obs.NewHistogram(latencyBuckets()...),
+		}
+		if i < len(cfg.TraceURLs) {
+			rep.traceURL = cfg.TraceURLs[i]
 		}
 		rep.state.Store(int32(StateHealthy))
 		r.replicas = append(r.replicas, rep)

@@ -89,6 +89,12 @@ const (
 	// StageDecodeBatch spans one DecodeBatch call at the pool boundary
 	// (arg carries the lane count).
 	StageDecodeBatch
+	// StageRouterForward spans one request's router-side forward: from
+	// the flush to the backend replica until its response frame arrived
+	// (arg carries the replica index). Recorded under the request's
+	// trace id, so a merged cluster trace nests the replica's
+	// queue/decode/copy-out spans inside it.
+	StageRouterForward
 
 	numStages
 )
@@ -107,6 +113,7 @@ var stageNames = [numStages]string{
 	"decode",
 	"copy_out",
 	"decode_batch",
+	"router_forward",
 }
 
 // Name returns the stage's trace-event name.

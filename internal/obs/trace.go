@@ -13,10 +13,12 @@ import (
 // Chrome trace_event export: the sampled decode spans rendered as
 // complete ("ph":"X") events, loadable in chrome://tracing or Perfetto.
 // Each recording goroutine's ring becomes one tid, so queue/batch/
-// decode stages line up per worker lane.
+// decode stages line up per worker lane. The types are exported so the
+// cluster router can parse a replica's trace dump, realign its clock
+// and merge it with the router's own spans into one document.
 
-// traceEvent is one trace_event entry (the subset we emit).
-type traceEvent struct {
+// TraceEvent is one trace_event entry (the subset we emit).
+type TraceEvent struct {
 	Name string    `json:"name"`
 	Cat  string    `json:"cat"`
 	Ph   string    `json:"ph"`
@@ -24,26 +26,34 @@ type traceEvent struct {
 	Dur  float64   `json:"dur"` // microseconds
 	PID  int       `json:"pid"`
 	TID  int       `json:"tid"`
-	Args traceArgs `json:"args"`
+	Args TraceArgs `json:"args"`
 }
 
-type traceArgs struct {
-	ID  uint32 `json:"id"`
-	Arg int32  `json:"arg"`
+// TraceArgs carries the span's decode id and stage-specific argument.
+// Label is only set on "M"-phase metadata events (process naming).
+type TraceArgs struct {
+	ID    uint32 `json:"id"`
+	Arg   int32  `json:"arg"`
+	Label string `json:"name,omitempty"`
 }
 
-// traceFile is the object form of the trace_event format.
-type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
+// TraceDoc is the object form of the trace_event format. TickUs is a
+// vegapunk extension: the emitting process's obs clock (Tick, in
+// microseconds) read while rendering, so a fetcher can estimate the
+// clock offset between its own epoch and the emitter's from the fetch
+// round trip.
+type TraceDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TickUs          float64      `json:"tickUs,omitempty"`
 }
 
-// WriteTrace renders the tracer's current spans as Chrome trace_event
-// JSON. maxSpans > 0 keeps only the newest maxSpans spans (per their
-// start tick); 0 writes everything currently buffered.
-func (t *Tracer) WriteTrace(w io.Writer, maxSpans int) error {
+// Events renders the tracer's current spans as trace events under the
+// given pid. maxSpans > 0 keeps only the newest maxSpans spans (per
+// their start tick); 0 keeps everything currently buffered.
+func (t *Tracer) Events(pid, maxSpans int) []TraceEvent {
 	perRing := t.snapshotPerRing()
-	var events []traceEvent
+	var events []TraceEvent
 	for tid, spans := range perRing {
 		for _, s := range spans {
 			// A skewed probe (fault injection) can record End < Start;
@@ -52,39 +62,62 @@ func (t *Tracer) WriteTrace(w io.Writer, maxSpans int) error {
 			if dur < 0 {
 				dur = 0
 			}
-			events = append(events, traceEvent{
+			events = append(events, TraceEvent{
 				Name: s.Stage.Name(),
 				Cat:  "decode",
 				Ph:   "X",
 				TS:   float64(s.Start) / 1e3,
 				Dur:  float64(dur) / 1e3,
-				PID:  1,
+				PID:  pid,
 				TID:  tid,
-				Args: traceArgs{ID: s.ID, Arg: s.Arg},
+				Args: TraceArgs{ID: s.ID, Arg: s.Arg},
 			})
 		}
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	SortTraceEvents(events)
 	if maxSpans > 0 && len(events) > maxSpans {
 		events = events[len(events)-maxSpans:]
 	}
+	return events
+}
+
+// SortTraceEvents orders events by start timestamp (metadata events,
+// which carry TS 0, sort first).
+func SortTraceEvents(events []TraceEvent) {
+	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+}
+
+// ProcessNameEvent builds the "M"-phase metadata event that names pid
+// in the trace viewer's process list.
+func ProcessNameEvent(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Ph: "M", PID: pid, Args: TraceArgs{Label: name}}
+}
+
+// WriteTraceDoc encodes events as one trace_event JSON document,
+// stamping the current obs clock into TickUs.
+func WriteTraceDoc(w io.Writer, events []TraceEvent) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+	return enc.Encode(TraceDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ns",
+		TickUs:          float64(Tick()) / 1e3,
+	})
+}
+
+// WriteTrace renders the tracer's current spans as Chrome trace_event
+// JSON. maxSpans > 0 keeps only the newest maxSpans spans (per their
+// start tick); 0 writes everything currently buffered.
+func (t *Tracer) WriteTrace(w io.Writer, maxSpans int) error {
+	return WriteTraceDoc(w, t.Events(1, maxSpans))
 }
 
 // TraceHandler serves the tracer's buffered spans as Chrome trace JSON:
 // GET /debug/decodetrace?n=500 bounds the span count.
 func TraceHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := 0
-		if q := r.URL.Query().Get("n"); q != "" {
-			v, err := strconv.Atoi(q)
-			if err != nil || v < 0 {
-				w.WriteHeader(http.StatusBadRequest)
-				fmt.Fprintf(w, "bad n %q\n", q)
-				return
-			}
-			n = v
+		n, ok := ParseSpanCount(w, r)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := t.WriteTrace(w, n); err != nil {
@@ -92,6 +125,22 @@ func TraceHandler(t *Tracer) http.Handler {
 			return
 		}
 	})
+}
+
+// ParseSpanCount reads the ?n= span bound shared by the trace
+// endpoints, answering 400 itself on a malformed value.
+func ParseSpanCount(w http.ResponseWriter, r *http.Request) (int, bool) {
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return 0, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintf(w, "bad n %q\n", q)
+		return 0, false
+	}
+	return v, true
 }
 
 // DebugMux builds the diagnostic mux served on a daemon's -debug-addr:

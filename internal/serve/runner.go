@@ -140,6 +140,7 @@ func (o *runnerOutcome) catch() {
 // scratch, the span ring, the watchdog timer and (on batch-capable
 // services) the per-lane request claims of the in-flight batch.
 type workerState struct {
+	id     uint16
 	dec    core.Decoder
 	r      *runner
 	syn    gf2.Vec

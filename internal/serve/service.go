@@ -59,12 +59,17 @@ type request struct {
 	tier     core.Tier
 	err      error
 
-	// Observability: the tracer-issued decode id, the admission tick,
-	// and the measured per-stage breakdown (filled by process, copied
-	// into Result at collect).
-	id                               uint64
-	enq                              int64
-	queueWaitNs, decodeNs, copyOutNs int64
+	// Observability: the decode id (tracer-issued, or the caller's wire
+	// trace id), whether the caller forced span sampling (distributed
+	// tracing: the client's sample bit overrides the local lattice), the
+	// admission tick, the worker that decoded it, and the measured
+	// per-stage breakdown (filled by process, copied into Result at
+	// collect).
+	id                                                uint64
+	forceSample                                       bool
+	enq                                               int64
+	workerID                                          uint16
+	queueWaitNs, batchAssembleNs, decodeNs, copyOutNs int64
 }
 
 // batch groups requests for one dispatch. Workers claim items by
@@ -91,11 +96,15 @@ type Result struct {
 	// Stats is the decoder's per-decode execution metadata.
 	Stats core.Stats
 	// Per-stage latency breakdown in nanoseconds: admission to
-	// dispatch, the decoder call, and the pool-boundary copy-out.
-	QueueWaitNs, DecodeNs, CopyOutNs int64
+	// dispatch, the micro-batch assembly window the request rode in,
+	// the decoder call, and the pool-boundary copy-out.
+	QueueWaitNs, BatchAssembleNs, DecodeNs, CopyOutNs int64
 	// Tier is the degradation tier the decode actually ran at
 	// (core.TierFull unless the service was under pressure).
 	Tier core.Tier
+	// WorkerID identifies the worker goroutine that ran the decode
+	// (reported in the wire server-timing block).
+	WorkerID uint16
 }
 
 // Service serves decode requests for one registered model: a
@@ -194,7 +203,7 @@ func newService(key string, model *dem.Model, decoderName string, factory core.F
 	s.wg.Add(1 + cfg.Workers)
 	go s.batcher() //vegapunk:goroutine(Service.Close) exits when Close closes in; reaped by wg.Wait
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker() //vegapunk:goroutine(Service.Close) exits when the batcher closes work; reaped by wg.Wait
+		go s.worker(uint16(i)) //vegapunk:goroutine(Service.Close) exits when the batcher closes work; reaped by wg.Wait
 	}
 	return s
 }
@@ -259,6 +268,35 @@ func (s *Service) DecodeBatchInto(ctx context.Context, res []Result, syndromes [
 //
 //vegapunk:hotpath
 func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error) {
+	return s.submitTraced(ctx, syndrome, wireTrace{})
+}
+
+// wireTrace carries an externally supplied trace context into submit:
+// a nonzero id replaces the tracer-issued decode id so replica spans
+// line up with the caller's (router's) spans, and sampled forces span
+// recording regardless of the local sampling lattice.
+type wireTrace struct {
+	id      uint64
+	sampled bool
+}
+
+// sampled decides whether req's spans are recorded: the caller's
+// forced sample bit (when tracing is enabled at all) or the tracer's
+// own 1-in-N lattice.
+//
+//vegapunk:hotpath
+func (s *Service) sampled(req *request) bool {
+	if req.forceSample && s.tracer.Enabled() {
+		return true
+	}
+	return s.tracer.ShouldSample(req.id)
+}
+
+// submitTraced is submit with an optional external trace context (the
+// wire path's distributed-tracing entry point).
+//
+//vegapunk:hotpath
+func (s *Service) submitTraced(ctx context.Context, syndrome gf2.Vec, tc wireTrace) (*request, error) {
 	if syndrome.Len() != s.model.NumDet {
 		return nil, fmt.Errorf("serve: syndrome has %d bits, model %s wants %d", //vegapunk:allow(alloc) caller-bug error path
 			syndrome.Len(), s.key, s.model.NumDet)
@@ -266,7 +304,14 @@ func (s *Service) submit(ctx context.Context, syndrome gf2.Vec) (*request, error
 	req := s.getReq() //vegapunk:allow(alloc) freelist miss constructs by design; steady state reuses
 	req.syndrome.CopyFrom(syndrome)
 	req.state.Store(reqPending)
-	req.id = s.tracer.NextID()
+	if tc.id != 0 {
+		req.id = tc.id
+	} else {
+		req.id = s.tracer.NextID()
+	}
+	req.forceSample = tc.sampled
+	req.batchAssembleNs = 0
+	req.workerID = 0
 	req.enq = obs.Tick()
 	req.err = nil
 	req.tier = core.TierFull
@@ -335,9 +380,11 @@ func (s *Service) collect(req *request, res *Result) error {
 	res.Satisfied = req.satisfied
 	res.Stats = req.stats
 	res.QueueWaitNs = req.queueWaitNs
+	res.BatchAssembleNs = req.batchAssembleNs
 	res.DecodeNs = req.decodeNs
 	res.CopyOutNs = req.copyOutNs
 	res.Tier = req.tier
+	res.WorkerID = req.workerID
 	s.putReq(req)
 	return nil
 }
@@ -414,7 +461,10 @@ func (s *Service) batcher() {
 		}
 		now := obs.Tick()
 		s.met.assembleSeconds.Observe(obs.DurSeconds(now - t0))
-		if s.tracer.ShouldSample(req.id) {
+		for _, r := range b.reqs {
+			r.batchAssembleNs = now - t0
+		}
+		if s.sampled(req) {
 			ring.Record(obs.StageBatchAssemble, int32(len(b.reqs)), uint32(req.id), t0, now)
 		}
 		s.flush(b)
@@ -451,9 +501,10 @@ func (s *Service) flush(b *batch) {
 // fault (panic, hang) is isolated from the dispatch machinery.
 //
 //vegapunk:hotpath
-func (s *Service) worker() {
+func (s *Service) worker(id uint16) {
 	defer s.wg.Done()
 	w := workerState{
+		id:    id,
 		syn:   gf2.NewVec(s.model.NumDet), //vegapunk:allow(alloc) worker-owned scratch, once per goroutine lifetime
 		ring:  s.tracer.Ring(),            //vegapunk:allow(alloc) one span ring per worker goroutine lifetime
 		timer: time.NewTimer(time.Hour),   //vegapunk:allow(alloc) one watchdog timer per worker lifetime
@@ -535,6 +586,7 @@ const p99RefreshEvery = 64
 func (s *Service) process(w *workerState, req *request) {
 	t0 := obs.Tick()
 	req.queueWaitNs = t0 - req.enq
+	req.workerID = w.id
 	s.met.queueWaitSeconds.Observe(obs.DurSeconds(req.queueWaitNs))
 	if req.deadline != 0 {
 		if p99 := s.p99DecodeNs.Load(); p99 > 0 && t0+p99 > req.deadline {
@@ -543,7 +595,7 @@ func (s *Service) process(w *workerState, req *request) {
 			return
 		}
 	}
-	sampled := s.tracer.ShouldSample(req.id)
+	sampled := s.sampled(req)
 	if sampled {
 		w.ring.Record(obs.StageQueueWait, 0, uint32(req.id), req.enq, t0)
 	}
@@ -642,13 +694,14 @@ func (s *Service) processBatch(w *workerState, b *batch) {
 	n := 0
 	for _, req := range b.reqs {
 		req.queueWaitNs = t0 - req.enq
+		req.workerID = w.id
 		s.met.queueWaitSeconds.Observe(obs.DurSeconds(req.queueWaitNs))
 		if req.deadline != 0 && p99 > 0 && t0+p99 > req.deadline {
 			s.met.shed.Add(1)
 			s.finish(req, ErrDeadlineBudget)
 			continue
 		}
-		if s.tracer.ShouldSample(req.id) {
+		if s.sampled(req) {
 			w.ring.Record(obs.StageQueueWait, 0, uint32(req.id), req.enq, t0)
 		}
 		w.r.syns[n].CopyFrom(req.syndrome)
@@ -660,7 +713,7 @@ func (s *Service) processBatch(w *workerState, b *batch) {
 	}
 	claims := w.claims[:n]
 	lead := claims[0]
-	sampled := s.tracer.ShouldSample(lead.id)
+	sampled := s.sampled(lead)
 	w.r.in <- runnerJob{dec: w.dec, tier: s.ladder.active(), lanes: n, sampled: sampled, id: lead.id}
 	w.timer.Reset(s.cfg.HangTimeout)
 	var o runnerOutcome
@@ -716,6 +769,12 @@ func (s *Service) processBatch(w *workerState, b *batch) {
 		t2 := obs.Tick()
 		req.copyOutNs = t2 - prev
 		prev = t2
+		if s.sampled(req) {
+			// Per-lane decode/copy-out spans so a distributed trace can
+			// follow any traced lane, not just the batch lead.
+			w.ring.Record(obs.StageDecode, int32(req.stats.BPIters), uint32(req.id), t0, t1)
+			w.ring.Record(obs.StageCopyOut, 0, uint32(req.id), t2-req.copyOutNs, t2)
+		}
 
 		synWeight := req.syndrome.Weight()
 		s.met.copyOutSeconds.Observe(obs.DurSeconds(req.copyOutNs))

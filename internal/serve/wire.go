@@ -135,6 +135,10 @@ type wireLane struct {
 	req    *request
 	status wire.Status
 	res    Result
+	// traced marks a lane whose request carried the telemetry
+	// extension; its result answers with the server-timing block.
+	traced bool
+	tc     wire.TraceContext
 }
 
 // wireCtx is a reusable deadline-only context for wire submissions:
@@ -287,6 +291,7 @@ func (s *Server) wireDecodeBatch(st *wireConnState, h wire.Header, payload []byt
 		return wire.Header{}, nil, false, st.write()
 	}
 	m := st.models[h.ModelID]
+	mid := h.ModelID
 	var readErr error
 	k := 0
 	for {
@@ -296,11 +301,14 @@ func (s *Server) wireDecodeBatch(st *wireConnState, h wire.Header, payload []byt
 		lane.reqID = h.ReqID
 		lane.req = nil
 		lane.status = wire.StatusOK
-		if perr := wire.ParseDecodeInto(m.syns[k], payload); perr != nil {
+		lane.traced = h.Flags&wire.FlagTelemetry != 0
+		lane.tc = wire.TraceContext{}
+		if tc, perr := wire.ParseDecodeTracedInto(m.syns[k], h.Flags, payload); perr != nil {
 			lane.status = wire.StatusBadRequest
 		} else {
+			lane.tc = tc
 			st.ctx.dl = time.Now().Add(s.cfg.RequestTimeout) //vegapunk:allow(time) request deadline needs wall clock, once per lane
-			req, serr := m.svc.submit(&st.ctx, m.syns[k])
+			req, serr := m.svc.submitTraced(&st.ctx, m.syns[k], wireTrace{id: tc.TraceID, sampled: tc.Sampled})
 			if serr != nil {
 				lane.status = wireStatusOf(serr)
 			} else {
@@ -344,7 +352,25 @@ func (s *Server) wireDecodeBatch(st *wireConnState, h wire.Header, payload []byt
 			st.wres.Correction = res.Correction
 			st.wres.Observables = res.Observables
 		}
-		st.wbuf = wire.AppendResult(st.wbuf, flags, h.ModelID, lane.reqID, &st.wres)
+		if lane.traced {
+			// A traced request always answers with the server-timing
+			// block (zeros on a failed lane) plus the replica's clock
+			// reading, which the router folds into its per-connection
+			// offset estimate.
+			tm := wire.ServerTiming{ServerTick: obs.Tick()}
+			if lane.status == wire.StatusOK {
+				res := &lane.res
+				tm.Tier = uint8(res.Tier)
+				tm.WorkerID = res.WorkerID
+				tm.QueueWaitNs = res.QueueWaitNs
+				tm.BatchAssembleNs = res.BatchAssembleNs
+				tm.DecodeNs = res.DecodeNs
+				tm.CopyOutNs = res.CopyOutNs
+			}
+			st.wbuf = wire.AppendResultTimed(st.wbuf, flags, mid, lane.reqID, &st.wres, &tm)
+		} else {
+			st.wbuf = wire.AppendResult(st.wbuf, flags, mid, lane.reqID, &st.wres)
+		}
 	}
 	if werr := st.write(); werr != nil {
 		return wire.Header{}, nil, false, werr

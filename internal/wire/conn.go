@@ -167,6 +167,15 @@ func (c *Client) QueueDecode(modelID uint16, reqID uint64, syndrome gf2.Vec) {
 	c.wbuf = AppendDecode(c.wbuf, modelID, reqID, syndrome)
 }
 
+// QueueDecodeTraced appends an OpDecode frame carrying the telemetry
+// trace block (FlagTelemetry set) without flushing: the traced variant
+// of QueueDecode.
+//
+//vegapunk:hotpath
+func (c *Client) QueueDecodeTraced(modelID uint16, reqID uint64, syndrome gf2.Vec, tc TraceContext) {
+	c.wbuf = AppendDecodeTraced(c.wbuf, modelID, reqID, syndrome, tc)
+}
+
 // QueueFrame appends a raw, already-encoded payload under a fresh
 // header without flushing: the router's relay path.
 //
@@ -229,6 +238,36 @@ func (c *Client) ReadResult(res *Result) (Header, error) {
 		return h, nil
 	}
 	return Header{}, ErrUnexpectedFrame
+}
+
+// ReadResultTimed blocks for the next response frame and parses it
+// into res plus, when the frame carries the telemetry extension, the
+// server-timing block into st. It reports whether st was filled.
+// OpError frames surface as a Result with the error's status class and
+// no timing, mirroring ReadResult.
+//
+//vegapunk:hotpath
+func (c *Client) ReadResultTimed(res *Result, st *ServerTiming) (Header, bool, error) {
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return Header{}, false, err //vegapunk:allow(alloc) error path: connection failed
+	}
+	h, payload, err := c.r.ReadFrame()
+	if err != nil {
+		return Header{}, false, err
+	}
+	switch h.Op {
+	case OpResult:
+		timed, perr := ParseResultTimedInto(res, st, h.Flags, payload)
+		return h, timed, perr
+	case OpError:
+		status, _, perr := ParseError(payload)
+		if perr != nil {
+			return Header{}, false, perr
+		}
+		res.Status = status
+		return h, false, nil
+	}
+	return Header{}, false, ErrUnexpectedFrame
 }
 
 // Decode is the one-shot request/response convenience: queue one

@@ -9,7 +9,8 @@ import (
 )
 
 // FuzzWireFrameRoundTrip encodes a decode request and a result frame
-// from fuzz-chosen fields and checks both parse back bit-identically.
+// from fuzz-chosen fields — plain and telemetry-extended variants — and
+// checks everything parses back bit-identically.
 func FuzzWireFrameRoundTrip(f *testing.F) {
 	f.Add(uint16(1), uint64(7), 72, []byte{0x0f, 0xf0}, uint8(0), true, uint32(12))
 	f.Add(uint16(0), uint64(0), 1, []byte{1}, uint8(2), false, uint32(0))
@@ -66,6 +67,60 @@ func FuzzWireFrameRoundTrip(f *testing.F) {
 		if !back.Correction.Equal(syn) || !back.Observables.Equal(got) {
 			t.Fatal("result vectors corrupted")
 		}
+
+		// Telemetry-extended variants of both frames: the trace context
+		// and server-timing block must ride the same payloads untouched.
+		tc := TraceContext{TraceID: reqID ^ uint64(iters)<<16, Sampled: sat}
+		buf = AppendDecodeTraced(buf[:0], modelID, reqID, syn, tc)
+		th, err := ParseHeader(buf)
+		if err != nil {
+			t.Fatalf("ParseHeader on traced encoding: %v", err)
+		}
+		if th.Flags&FlagTelemetry == 0 {
+			t.Fatal("traced decode frame lost FlagTelemetry")
+		}
+		btc, err := ParseDecodeTracedInto(got, th.Flags, buf[HeaderSize:])
+		if err != nil {
+			t.Fatalf("ParseDecodeTracedInto on own encoding: %v", err)
+		}
+		if btc != tc || !got.Equal(syn) {
+			t.Fatalf("traced request drift: %+v != %+v", btc, tc)
+		}
+		if ptc, ok := PeekTraceContext(th.Flags, buf[HeaderSize:]); !ok || ptc != tc {
+			t.Fatalf("peek trace context drift: %+v ok=%v", ptc, ok)
+		}
+
+		tm := ServerTiming{
+			Tier: tier, WorkerID: modelID,
+			QueueWaitNs: int64(reqID) ^ 7, BatchAssembleNs: int64(iters),
+			DecodeNs: int64(n), CopyOutNs: -int64(tier), ServerTick: int64(reqID >> 1),
+		}
+		buf = AppendResultTimed(buf[:0], FlagDegraded, modelID, reqID, &res, &tm)
+		rh, err := ParseHeader(buf)
+		if err != nil {
+			t.Fatalf("ParseHeader on timed encoding: %v", err)
+		}
+		var btm ServerTiming
+		timed, err := ParseResultTimedInto(&back, &btm, rh.Flags, buf[HeaderSize:])
+		if err != nil {
+			t.Fatalf("ParseResultTimedInto on own encoding: %v", err)
+		}
+		if !timed || btm != tm {
+			t.Fatalf("timing block drift: timed=%v %+v != %+v", timed, btm, tm)
+		}
+		if !back.Correction.Equal(syn) || !back.Observables.Equal(got) {
+			t.Fatal("timed result vectors corrupted")
+		}
+		var ptm ServerTiming
+		if !PeekServerTiming(&ptm, rh.Flags, buf[HeaderSize:]) || ptm != tm {
+			t.Fatalf("peek server timing drift: %+v", ptm)
+		}
+		// Trimming the block must recover the exact plain payload.
+		plain := AppendResult(nil, FlagDegraded, modelID, reqID, &res)
+		trimmed := TrimServerTiming(rh.Flags, buf[HeaderSize:])
+		if !bytes.Equal(trimmed, plain[HeaderSize:]) {
+			t.Fatal("trimmed timed payload differs from the plain encoding")
+		}
 	})
 }
 
@@ -81,11 +136,24 @@ func FuzzWireParseCorrupt(f *testing.F) {
 	f.Add(AppendResult(nil, 0, 1, 2, &res), 72)
 	f.Add([]byte{}, 1)
 	f.Add(bytes.Repeat([]byte{0xff}, 64), 16)
+	// Telemetry seeds: a well-formed traced pair, a truncated trace
+	// block, a flagged frame with no block at all, and an unknown
+	// extension version (must parse as no-telemetry, never panic).
+	traced := AppendDecodeTraced(nil, 1, 2, syn, TraceContext{TraceID: 99, Sampled: true})
+	f.Add(traced, 72)
+	f.Add(traced[:len(traced)-4], 72)
+	timed := AppendResultTimed(nil, 0, 1, 2, &res, &ServerTiming{DecodeNs: 5, ServerTick: 9})
+	f.Add(timed, 72)
+	f.Add(timed[:len(timed)-7], 72)
+	unknown := append(append([]byte{}, traced...), 0)
+	unknown[len(unknown)-traceBlockSize-1] = TelemetryVersion + 1
+	f.Add(unknown, 72)
 	f.Fuzz(func(t *testing.T, raw []byte, n int) {
 		if n <= 0 || n > 4096 {
 			t.Skip()
 		}
-		if _, err := ParseHeader(raw); err != nil {
+		h, err := ParseHeader(raw)
+		if err != nil {
 			// Rejected at the header; nothing further to check.
 			return
 		}
@@ -105,6 +173,33 @@ func FuzzWireParseCorrupt(f *testing.F) {
 		SizeResult(&r, n, n)
 		if err := ParseResultInto(&r, payload); err != nil && !isProtoErr(err) {
 			t.Fatalf("unexpected error class: %v", err)
+		}
+
+		// Telemetry parsers under the frame's own flags and under a
+		// forced FlagTelemetry: reject with a protocol error or accept
+		// with the invariants intact, never panic.
+		for _, flags := range []Flags{h.Flags, h.Flags | FlagTelemetry} {
+			if tc, err := ParseDecodeTracedInto(v, flags, payload); err == nil {
+				if flags&FlagTelemetry == 0 && tc != (TraceContext{}) {
+					t.Fatal("unflagged frame produced a trace context")
+				}
+			} else if !isProtoErr(err) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			var tm ServerTiming
+			if timed, err := ParseResultTimedInto(&r, &tm, flags, payload); err == nil {
+				if flags&FlagTelemetry == 0 && timed {
+					t.Fatal("unflagged frame produced a timing block")
+				}
+			} else if !isProtoErr(err) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			// The relay tail-peeks and trim must tolerate anything.
+			_, _ = PeekTraceContext(flags, payload)
+			_ = PeekServerTiming(&tm, flags, payload)
+			if out := TrimServerTiming(flags, payload); len(out) > len(payload) {
+				t.Fatal("trim grew the payload")
+			}
 		}
 
 		if _, _, _, err := ParseHelloAck(payload); err != nil && !isProtoErr(err) {

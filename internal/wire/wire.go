@@ -175,6 +175,12 @@ const (
 	// FlagRetried marks a router response that was served by a failover
 	// sibling after the primary replica failed the request.
 	FlagRetried
+	// FlagTelemetry marks a frame carrying the optional telemetry
+	// extension block at the tail of its payload: a trace block
+	// (TraceContext) on OpDecode, a server-timing block (ServerTiming)
+	// on OpResult. Peers that never set the flag never see the blocks,
+	// so the extension is invisible to pre-telemetry parsers.
+	FlagTelemetry
 )
 
 // Header is the fixed frame preamble.
@@ -407,6 +413,16 @@ func SizeResult(res *Result, numMech, numObs int) {
 //vegapunk:hotpath
 func AppendResult(buf []byte, flags Flags, modelID uint16, reqID uint64, res *Result) []byte {
 	buf, start := beginFrame(buf, OpResult, flags, modelID, reqID)
+	buf = appendResultBody(buf, res)
+	return endFrame(buf, start)
+}
+
+// appendResultBody appends the fixed prefix and, on StatusOK, the
+// vector blocks (the payload shared by AppendResult and
+// AppendResultTimed).
+//
+//vegapunk:hotpath
+func appendResultBody(buf []byte, res *Result) []byte {
 	sat := byte(0)
 	if res.Satisfied {
 		sat = 1
@@ -421,7 +437,7 @@ func AppendResult(buf []byte, flags Flags, modelID uint16, reqID uint64, res *Re
 		buf = appendVec(buf, res.Correction)
 		buf = appendVec(buf, res.Observables)
 	}
-	return endFrame(buf, start)
+	return buf
 }
 
 //vegapunk:hotpath
@@ -437,11 +453,27 @@ func appendI64(buf []byte, v int64) []byte {
 //
 //vegapunk:hotpath
 func ParseResultInto(res *Result, b []byte) error {
-	if len(b) < resultFixedSize {
+	rest, err := parseResultBody(res, b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
 		return ErrTruncated
 	}
+	return nil
+}
+
+// parseResultBody decodes the fixed prefix and (on StatusOK) the
+// vector blocks, returning whatever payload remains — the telemetry
+// extension block when the frame carried one.
+//
+//vegapunk:hotpath
+func parseResultBody(res *Result, b []byte) ([]byte, error) {
+	if len(b) < resultFixedSize {
+		return nil, ErrTruncated
+	}
 	if b[0] >= byte(numStatuses) {
-		return ErrBadStatus
+		return nil, ErrBadStatus
 	}
 	res.Status = Status(b[0])
 	res.Tier = b[1]
@@ -452,28 +484,263 @@ func ParseResultInto(res *Result, b []byte) error {
 	res.CopyOutNs = int64(binary.LittleEndian.Uint64(b[24:]))
 	b = b[resultFixedSize:]
 	if res.Status != StatusOK {
-		if len(b) != 0 {
-			return ErrTruncated
-		}
-		return nil
+		return b, nil
 	}
 	b, err := parseVecInto(res.Correction, b)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	b, err = parseVecInto(res.Observables, b)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if len(b) != 0 {
-		return ErrTruncated
-	}
-	return nil
+	return b, nil
 }
 
 // ErrBadStatus rejects a result frame whose status byte is outside the
 // defined set.
 var ErrBadStatus = errors.New("wire: invalid status code")
+
+// ---- telemetry extension ----
+
+// The telemetry extension is an optional, versioned block appended at
+// the tail of a payload and announced by FlagTelemetry in the header:
+//
+//	OpDecode tail (traceBlockSize = 10 bytes):
+//	  off size field
+//	    0    1 extension version (TelemetryVersion)
+//	    1    1 sample flag (bit 0: trace this request end to end)
+//	    2    8 trace id (u64, nonzero)
+//
+//	OpResult tail (timingBlockSize = 44 bytes):
+//	  off size field
+//	    0    1 extension version (TelemetryVersion)
+//	    1    1 degradation tier the decode ran at
+//	    2    2 worker id (u16)
+//	    4    8 queue_wait_ns (i64)
+//	   12    8 batch_assemble_ns (i64)
+//	   20    8 decode_ns (i64)
+//	   28    8 copy_out_ns (i64)
+//	   36    8 server tick (i64, replica obs clock at result encode)
+//
+// A block whose version byte is not TelemetryVersion parses as
+// no-telemetry: the rest of the payload is skipped so future versions
+// (which may be longer) degrade gracefully on old peers.
+
+// TelemetryVersion is the extension version this package encodes.
+const TelemetryVersion byte = 1
+
+const (
+	traceBlockSize  = 1 + 1 + 8
+	timingBlockSize = 1 + 1 + 2 + 8 + 8 + 8 + 8 + 8
+)
+
+// TraceContext is the request half of the telemetry extension: the
+// caller-issued trace id and whether the replica should record spans
+// for this request regardless of its own sampling lattice.
+type TraceContext struct {
+	TraceID uint64
+	Sampled bool
+}
+
+// ServerTiming is the response half: the replica-reported stage
+// breakdown a router subtracts from its wall clock to split latency
+// into network and server time, plus the replica's own clock reading
+// (ServerTick) used to estimate the per-connection clock offset.
+type ServerTiming struct {
+	Tier            uint8
+	WorkerID        uint16
+	QueueWaitNs     int64
+	BatchAssembleNs int64
+	DecodeNs        int64
+	CopyOutNs       int64
+	ServerTick      int64
+}
+
+// ServerNs is the total replica-resident time the block accounts for.
+//
+//vegapunk:hotpath
+func (t *ServerTiming) ServerNs() int64 {
+	return t.QueueWaitNs + t.DecodeNs + t.CopyOutNs
+}
+
+// AppendTraceBlock appends a raw request trace block (no header): the
+// router uses it to extend an already-copied decode payload before
+// relaying it under FlagTelemetry.
+//
+//vegapunk:hotpath
+func AppendTraceBlock(buf []byte, tc TraceContext) []byte {
+	s := byte(0)
+	if tc.Sampled {
+		s = 1
+	}
+	return append(buf, //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+		TelemetryVersion, s,
+		byte(tc.TraceID), byte(tc.TraceID>>8), byte(tc.TraceID>>16), byte(tc.TraceID>>24),
+		byte(tc.TraceID>>32), byte(tc.TraceID>>40), byte(tc.TraceID>>48), byte(tc.TraceID>>56))
+}
+
+// AppendDecodeTraced appends an OpDecode frame carrying the syndrome
+// plus the trace block, with FlagTelemetry set in the header.
+//
+//vegapunk:hotpath
+func AppendDecodeTraced(buf []byte, modelID uint16, reqID uint64, syndrome gf2.Vec, tc TraceContext) []byte {
+	buf, start := beginFrame(buf, OpDecode, FlagTelemetry, modelID, reqID)
+	buf = appendVec(buf, syndrome)
+	buf = AppendTraceBlock(buf, tc)
+	return endFrame(buf, start)
+}
+
+// ParseDecodeTracedInto reads an OpDecode payload into syn and, when
+// flags carries FlagTelemetry, decodes the trailing trace block. A
+// block with an unknown extension version parses as no-telemetry
+// (zero TraceContext); a flagged frame with a truncated block is a
+// protocol error.
+//
+//vegapunk:hotpath
+func ParseDecodeTracedInto(syn gf2.Vec, flags Flags, b []byte) (TraceContext, error) {
+	rest, err := parseVecInto(syn, b)
+	if err != nil {
+		return TraceContext{}, err
+	}
+	if flags&FlagTelemetry == 0 {
+		if len(rest) != 0 {
+			return TraceContext{}, ErrTruncated
+		}
+		return TraceContext{}, nil
+	}
+	if len(rest) < 1 {
+		return TraceContext{}, ErrTruncated
+	}
+	if rest[0] != TelemetryVersion {
+		return TraceContext{}, nil // unknown version: skip the block
+	}
+	if len(rest) != traceBlockSize {
+		return TraceContext{}, ErrTruncated
+	}
+	return TraceContext{
+		Sampled: rest[1]&1 != 0,
+		TraceID: binary.LittleEndian.Uint64(rest[2:]),
+	}, nil
+}
+
+// PeekTraceContext reads the trace block off the tail of an OpDecode
+// payload without parsing the syndrome — the router's relay path. It
+// reports false when the flag is clear, the payload is too short, or
+// the byte at the expected block offset is not a v1 version byte
+// (unknown extension versions relay untouched).
+//
+//vegapunk:hotpath
+func PeekTraceContext(flags Flags, payload []byte) (TraceContext, bool) {
+	if flags&FlagTelemetry == 0 || len(payload) < 4+traceBlockSize {
+		return TraceContext{}, false
+	}
+	tail := payload[len(payload)-traceBlockSize:]
+	if tail[0] != TelemetryVersion {
+		return TraceContext{}, false
+	}
+	return TraceContext{
+		Sampled: tail[1]&1 != 0,
+		TraceID: binary.LittleEndian.Uint64(tail[2:]),
+	}, true
+}
+
+// AppendResultTimed appends an OpResult frame with the server-timing
+// block at the payload tail and FlagTelemetry set in the header.
+//
+//vegapunk:hotpath
+func AppendResultTimed(buf []byte, flags Flags, modelID uint16, reqID uint64, res *Result, st *ServerTiming) []byte {
+	buf, start := beginFrame(buf, OpResult, flags|FlagTelemetry, modelID, reqID)
+	buf = appendResultBody(buf, res)
+	buf = append(buf, //vegapunk:allow(alloc) append into caller buffer; steady state reuses its capacity
+		TelemetryVersion, st.Tier, byte(st.WorkerID), byte(st.WorkerID>>8))
+	buf = appendI64(buf, st.QueueWaitNs)
+	buf = appendI64(buf, st.BatchAssembleNs)
+	buf = appendI64(buf, st.DecodeNs)
+	buf = appendI64(buf, st.CopyOutNs)
+	buf = appendI64(buf, st.ServerTick)
+	return endFrame(buf, start)
+}
+
+// parseTimingBlock decodes one server-timing block. An unknown version
+// parses as absent (ok but !present); a short v1 block is a protocol
+// error.
+//
+//vegapunk:hotpath
+func parseTimingBlock(st *ServerTiming, b []byte) (bool, error) {
+	if len(b) < 1 {
+		return false, ErrTruncated
+	}
+	if b[0] != TelemetryVersion {
+		return false, nil // unknown version: skip the block
+	}
+	if len(b) != timingBlockSize {
+		return false, ErrTruncated
+	}
+	st.Tier = b[1]
+	st.WorkerID = binary.LittleEndian.Uint16(b[2:])
+	st.QueueWaitNs = int64(binary.LittleEndian.Uint64(b[4:]))
+	st.BatchAssembleNs = int64(binary.LittleEndian.Uint64(b[12:]))
+	st.DecodeNs = int64(binary.LittleEndian.Uint64(b[20:]))
+	st.CopyOutNs = int64(binary.LittleEndian.Uint64(b[28:]))
+	st.ServerTick = int64(binary.LittleEndian.Uint64(b[36:]))
+	return true, nil
+}
+
+// ParseResultTimedInto decodes an OpResult payload into res and, when
+// flags carries FlagTelemetry, the trailing server-timing block into
+// st. It reports whether st was filled (false for unflagged frames and
+// unknown extension versions).
+//
+//vegapunk:hotpath
+func ParseResultTimedInto(res *Result, st *ServerTiming, flags Flags, b []byte) (bool, error) {
+	rest, err := parseResultBody(res, b)
+	if err != nil {
+		return false, err
+	}
+	if flags&FlagTelemetry == 0 {
+		if len(rest) != 0 {
+			return false, ErrTruncated
+		}
+		return false, nil
+	}
+	return parseTimingBlock(st, rest)
+}
+
+// PeekServerTiming reads the server-timing block off the tail of an
+// OpResult payload without parsing the vector blocks — the router's
+// relay path, which never re-parses vectors. It reports false when the
+// flag is clear, the payload is too short, or the byte at the expected
+// block offset is not a v1 version byte.
+//
+//vegapunk:hotpath
+func PeekServerTiming(st *ServerTiming, flags Flags, payload []byte) bool {
+	if flags&FlagTelemetry == 0 || len(payload) < resultFixedSize+timingBlockSize {
+		return false
+	}
+	tail := payload[len(payload)-timingBlockSize:]
+	if tail[0] != TelemetryVersion {
+		return false
+	}
+	ok, err := parseTimingBlock(st, tail)
+	return ok && err == nil
+}
+
+// TrimServerTiming drops the v1 server-timing block off the tail of an
+// OpResult payload, so a router can strip telemetry it injected before
+// relaying the result to a client that never asked for it. Payloads
+// without a recognizable block are returned unchanged.
+//
+//vegapunk:hotpath
+func TrimServerTiming(flags Flags, payload []byte) []byte {
+	if flags&FlagTelemetry == 0 || len(payload) < resultFixedSize+timingBlockSize {
+		return payload
+	}
+	if payload[len(payload)-timingBlockSize] != TelemetryVersion {
+		return payload
+	}
+	return payload[:len(payload)-timingBlockSize]
+}
 
 // ---- relay ----
 
