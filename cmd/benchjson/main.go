@@ -40,6 +40,7 @@ import (
 	"vegapunk/internal/core"
 	"vegapunk/internal/dem"
 	"vegapunk/internal/gf2"
+	"vegapunk/internal/netfault"
 	"vegapunk/internal/serve"
 	"vegapunk/internal/wire"
 )
@@ -92,7 +93,7 @@ type serveLoad struct {
 // vegapunkrouter front end. Latencies are client-observed round trips,
 // so the rows are directly comparable.
 type protoLoad struct {
-	Proto    string  `json:"proto"` // "json-http", "binary", "binary-router"
+	Proto    string  `json:"proto"` // "json-http", "binary", "binary-router", "router-slowlink[-hedged]", ...
 	Requests int     `json:"requests"`
 	Batch    int     `json:"batch"`
 	Clients  int     `json:"clients"`
@@ -177,6 +178,17 @@ func runMeasure(dir string, issue int, benchtime string, requests, batch, client
 	if b, tel := protoByName(protoLoads, "binary"), protoByName(protoLoads, "binary-telemetry"); b != nil && tel != nil {
 		fmt.Fprintf(os.Stderr, "telemetry cost on the binary path: %.2f%% QPS\n",
 			100*(1-tel.QPS/b.QPS))
+	}
+	fmt.Fprintf(os.Stderr, "slow-link loads: hedged vs unhedged router over a netfault proxy\n")
+	slowLoads, err := runSlowLinkLoads(protoBatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: slow-link loads: %v\n", err)
+		return 2
+	}
+	art.ProtoLoads = append(art.ProtoLoads, slowLoads...)
+	if off, on := protoByName(slowLoads, "router-slowlink"), protoByName(slowLoads, "router-slowlink-hedged"); off != nil && on != nil {
+		fmt.Fprintf(os.Stderr, "hedged dispatch on a slow link: %.2fx p99, %.2fx QPS\n",
+			float64(off.P99Ns)/float64(max64(on.P99Ns, 1)), on.QPS/off.QPS)
 	}
 
 	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", issue))
@@ -398,6 +410,143 @@ func runProtoLoads(requests, batchSize, clients int) ([]protoLoad, error) {
 	}
 	for _, p := range out {
 		fmt.Fprintf(os.Stderr, "  %-13s qps=%.0f p50=%s p99=%s\n", p.Proto,
+			p.QPS, time.Duration(p.P50Ns), time.Duration(p.P99Ns))
+	}
+	return out, nil
+}
+
+// runSlowLinkLoads measures the hedged-dispatch win on an asymmetric
+// network — the BENCH-artifact counterpart of the NetChaos slow-link
+// test. Two identical replicas sit behind deterministic netfault
+// proxies; a short warm-up identifies the rendezvous winner by which
+// proxy's forwarded-byte counter moved, then that link degrades to
+// ModeSlow (10ms per forwarded chunk). The "router-slowlink" row
+// routes through a hedge-disabled router and eats the slow link on
+// every batch; "router-slowlink-hedged" arms hedged dispatch, so the
+// first stalled read fires onto the healthy sibling and the
+// Retry-After suspension keeps follow-up batches there.
+func runSlowLinkLoads(batchSize int) ([]protoLoad, error) {
+	const (
+		slowRequests = 48
+		slowClients  = 1
+	)
+	c, err := code.NewBBByIndex(0)
+	if err != nil {
+		return nil, err
+	}
+	model := dem.CodeCapacity(c, 0.01)
+	factory := func() core.Decoder { return core.NewBP(model, 30) }
+	key := serve.ModelKey(c.Name, "BP", 0.01)
+
+	proxies := make([]*netfault.Proxy, 2)
+	for i := range proxies {
+		srv := serve.NewServer(serve.Config{MaxBatch: batchSize, MaxInFlight: 8})
+		if _, err := srv.Register(key, model, "BP(30)", factory); err != nil {
+			return nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		//vegapunk:goroutine(runSlowLinkLoads) accept loop returns when the deferred srv.Shutdown closes the listener
+		go func() { _ = srv.ServeWire(l) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx) // best-effort: measurement is done
+		}()
+		p, err := netfault.Start(l.Addr().String(), netfault.Plan{SlowFor: 10 * time.Millisecond})
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = p.Close() }() // best-effort: measurement teardown
+		proxies[i] = p
+	}
+	replicas := []string{proxies[0].Addr(), proxies[1].Addr()}
+
+	startRouter := func(hedge time.Duration) (net.Listener, func(), error) {
+		rt, err := cluster.New(cluster.Config{
+			Replicas:          replicas,
+			ProbeInterval:     20 * time.Millisecond,
+			IOTimeout:         5 * time.Second,
+			PoolSize:          slowClients,
+			HedgeAfter:        hedge,
+			HedgeMaxRate:      1,
+			RetryAfterHint:    10 * time.Second,
+			RetryBudgetPerSec: 1000,
+			RetryBudgetBurst:  1000,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = rt.Shutdown(ctx) // best-effort: measurement is done
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		//vegapunk:goroutine(runSlowLinkLoads) accept loop returns when the returned stop func shuts the router down
+		go func() { _ = rt.Serve(l) }()
+		return l, stop, nil
+	}
+
+	syndromes := sampleSyndromes(model, slowRequests*batchSize)
+	offL, offStop, err := startRouter(0)
+	if err != nil {
+		return nil, err
+	}
+	defer offStop()
+
+	// Identify the rendezvous winner without reaching into cluster
+	// internals: both links are still in pass mode, so all warm-up
+	// traffic lands on the winner's proxy.
+	f0 := proxies[0].Counters.Forwarded.Load()
+	f1 := proxies[1].Counters.Forwarded.Load()
+	if _, _, err := driveBinary(offL.Addr().String(), key, syndromes, 4, batchSize, 1, false); err != nil {
+		return nil, fmt.Errorf("slow-link warm-up: %w", err)
+	}
+	win := proxies[0]
+	if proxies[1].Counters.Forwarded.Load()-f1 > proxies[0].Counters.Forwarded.Load()-f0 {
+		win = proxies[1]
+	}
+	win.SetMode(netfault.ModeSlow)
+	defer win.SetMode(netfault.ModePass)
+
+	out := make([]protoLoad, 0, 2)
+	measure := func(proto, addr string) error {
+		lats, elapsed, err := driveBinary(addr, key, syndromes, slowRequests, batchSize, slowClients, false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", proto, err)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		out = append(out, protoLoad{
+			Proto:    proto,
+			Requests: slowRequests,
+			Batch:    batchSize,
+			Clients:  slowClients,
+			QPS:      float64(slowRequests) / elapsed.Seconds(),
+			P50Ns:    lats[len(lats)/2],
+			P99Ns:    lats[len(lats)*99/100],
+		})
+		return nil
+	}
+	if err := measure("router-slowlink", offL.Addr().String()); err != nil {
+		return nil, err
+	}
+	onL, onStop, err := startRouter(5 * time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	defer onStop()
+	if err := measure("router-slowlink-hedged", onL.Addr().String()); err != nil {
+		return nil, err
+	}
+	for _, p := range out {
+		fmt.Fprintf(os.Stderr, "  %-22s qps=%.0f p50=%s p99=%s\n", p.Proto,
 			p.QPS, time.Duration(p.P50Ns), time.Duration(p.P99Ns))
 	}
 	return out, nil

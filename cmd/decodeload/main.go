@@ -37,6 +37,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -99,6 +100,9 @@ type tally struct {
 	syndromes int
 	degraded  int // syndromes decoded below full tier
 	retried   int // responses the router re-sent to a sibling replica
+	// reconnects counts wire connections re-established after transport
+	// loss (binary proto only; jittered exponential backoff per worker).
+	reconnects int
 
 	rejected503   int // capacity saturated, breaker open, overload
 	timeout504    int // server-side deadline exceeded or budget shed
@@ -204,7 +208,7 @@ func run() int {
 		go func() {
 			defer wg.Done()
 			if *proto == "binary" {
-				binaryWorker(&tl, &next, items, target, key, *timeout, *traceSample, logger)
+				binaryWorker(&tl, &next, items, target, key, *timeout, *traceSample, *seed+uint64(w), logger)
 			} else {
 				jsonWorker(&tl, &next, items, target, *timeout)
 			}
@@ -251,8 +255,8 @@ func run() int {
 		pct(0.50), pct(0.99), tl.latencies[len(tl.latencies)-1], tl.failures, failRate)
 	// Failure-class breakdown: how the daemon's resilience machinery
 	// resolved the requests that did not decode at full quality.
-	fmt.Printf("decodeload: classes rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d degraded_syndromes=%d retried=%d\n",
-		tl.rejected503, tl.timeout504, tl.decoderFault, tl.transportErrs, tl.degraded, tl.retried)
+	fmt.Printf("decodeload: classes rejected_503=%d timeouts_504=%d decoder_faults=%d transport_errors=%d degraded_syndromes=%d retried=%d reconnects=%d\n",
+		tl.rejected503, tl.timeout504, tl.decoderFault, tl.transportErrs, tl.degraded, tl.retried, tl.reconnects)
 	// Server-side stage breakdown (mean per syndrome): where the latency
 	// budget actually goes — waiting in the micro-batch queue, the
 	// decoder call, or the pool-boundary copy-out.
@@ -345,30 +349,48 @@ func jsonWorker(tl *tally, next *atomic.Int64, items []workItem, addr string, ti
 // every lane in the batch decoded; otherwise it lands in the class of
 // its first failed lane (Overload → rejected_503, Shed/Timeout →
 // timeouts_504, DecoderFault/Internal → decoder_faults). On transport
-// loss the worker reconnects once per item before failing it.
-func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key string, timeout time.Duration, traceSample uint64, logger *log.Logger) {
+// loss the worker reconnects once per item before failing it, through
+// a per-worker wire.Redialer — capped exponential backoff with
+// deterministic jitter, so workers hammered off a flapping daemon do
+// not redial in lockstep.
+func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key string, timeout time.Duration, traceSample, workerSeed uint64, logger *log.Logger) {
 	addr = strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
 	var (
 		c    *wire.Client
 		info wire.ModelInfo
 		res  wire.Result
 	)
-	connect := func() bool {
+	rd := &wire.Redialer{
+		Addr:        addr,
+		DialTimeout: 2 * time.Second,
+		IOTimeout:   timeout,
+		BackoffMin:  25 * time.Millisecond,
+		BackoffMax:  time.Second,
+		Seed:        workerSeed,
+	}
+	dialed := 0
+	connect := func() error {
 		var err error
-		c, err = wire.Dial(addr, 2*time.Second, timeout)
+		c, err = rd.Dial()
 		if err != nil {
 			c = nil
-			return false
+			return err
+		}
+		dialed++
+		if dialed > 1 {
+			tl.mu.Lock()
+			tl.reconnects++
+			tl.mu.Unlock()
 		}
 		info, err = c.Hello(key)
 		if err != nil {
 			logger.Printf("hello %s: %v", key, err)
 			_ = c.Close() // best-effort: failed handshake
 			c = nil
-			return false
+			return err
 		}
 		wire.SizeResult(&res, info.NumMech, info.NumObs)
-		return true
+		return nil
 	}
 	defer func() {
 		if c != nil {
@@ -382,11 +404,28 @@ func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key str
 			return
 		}
 		item := &items[i]
-		if c == nil && !connect() {
-			tl.mu.Lock()
-			tl.transportErrs++
-			tl.mu.Unlock()
-			continue
+		if c == nil {
+			if err := connect(); err != nil {
+				// A status refusal of the handshake (e.g. a router
+				// answering overload while its whole replica set is down)
+				// is a terminal daemon response, not transport loss:
+				// classify it like the matching decode status so chaos
+				// runs do not mistake rejection for an unreachable tier.
+				var se *wire.StatusError
+				tl.mu.Lock()
+				switch {
+				case !errors.As(err, &se):
+					tl.transportErrs++
+				case se.Status == wire.StatusOverload:
+					tl.rejected503++
+				case se.Status == wire.StatusShed || se.Status == wire.StatusTimeout:
+					tl.timeout504++
+				default:
+					tl.decoderFault++
+				}
+				tl.mu.Unlock()
+				continue
+			}
 		}
 
 		// Every request carries a telemetry block (so the server reports
@@ -411,13 +450,21 @@ func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key str
 			serverNs    int64
 		}
 		lanes := make([]laneOut, 0, len(item.syns))
-		transport := c.Flush() != nil
+		var terr error
+		transport := false
+		if err := c.Flush(); err != nil {
+			transport, terr = true, err
+		}
 		if !transport {
 			var tm wire.ServerTiming
 			for j := range item.syns {
 				h, timed, err := c.ReadResultTimed(&res, &tm)
-				if err != nil || h.ReqID != uint64(i)<<16|uint64(j) {
-					transport = true
+				if err != nil {
+					transport, terr = true, err
+					break
+				}
+				if want := uint64(i)<<16 | uint64(j); h.ReqID != want {
+					transport, terr = true, fmt.Errorf("response for request %#x, want %#x", h.ReqID, want)
 					break
 				}
 				lo := laneOut{status: res.Status, flags: h.Flags, tier: res.Tier,
@@ -436,6 +483,7 @@ func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key str
 		if transport {
 			// The connection is in an unknown state: drop it and
 			// reconnect for the next item.
+			logger.Printf("request %d: transport failure: %v", i, terr)
 			_ = c.Close() // best-effort: already failed
 			c = nil
 		}
@@ -485,10 +533,12 @@ func binaryWorker(tl *tally, next *atomic.Int64, items []workItem, addr, key str
 			tl.rejected503++
 		case firstBad == wire.StatusShed || firstBad == wire.StatusTimeout:
 			tl.timeout504++
-		case firstBad == wire.StatusDecoderFault || firstBad == wire.StatusInternal:
-			tl.decoderFault++
 		default:
-			tl.transportErrs++
+			// DecoderFault, Internal, BadRequest, UnknownModel, …: the
+			// daemon answered terminally, so whatever the status, this is
+			// a server-side error, never transport loss — transport_errors
+			// is reserved for requests with no terminal response at all.
+			tl.decoderFault++
 		}
 		tl.mu.Unlock()
 	}

@@ -1,0 +1,125 @@
+// Command netfaultproxy exposes internal/netfault as a standalone TCP
+// fault proxy: it listens on a local port, forwards every connection to
+// -target, and injects a deterministic, seeded schedule of network
+// faults — single-byte corruption, torn writes, mid-stream RSTs,
+// latency spikes, bandwidth throttling and scripted link phases such as
+// partitions. The CI network-chaos smoke puts it between the router and
+// a replica; it is equally usable by hand to watch any wire-protocol
+// peer survive a bad network.
+//
+//	netfaultproxy -target 127.0.0.1:8473 -seed 7 \
+//	    -fault-every 4096 -w-corrupt 3 -w-tear 1 -w-reset 1 \
+//	    -script pass:2s,blackhole:1s,corrupt:2s,slow:2s
+//
+// The proxy prints its listen address on stdout (port is picked by the
+// OS), logs phase flips and a fault-counter summary on exit, and
+// terminates on SIGINT/SIGTERM or after -run-for elapses.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vegapunk/internal/netfault"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("netfaultproxy", flag.ExitOnError)
+	target := fs.String("target", "", "address to forward proxied connections to (required)")
+	seed := fs.Uint64("seed", 1, "seed for the per-connection fault schedule PCG streams")
+	faultEvery := fs.Int("fault-every", 0, "mean forwarded-byte gap between byte-offset faults per direction (0 disables)")
+	wCorrupt := fs.Int("w-corrupt", 0, "weight of single-byte corruption at fault offsets")
+	wTear := fs.Int("w-tear", 0, "weight of torn writes at fault offsets")
+	wReset := fs.Int("w-reset", 0, "weight of mid-stream RSTs at fault offsets")
+	wLatency := fs.Int("w-latency", 0, "weight of latency stalls at fault offsets")
+	slowFor := fs.Duration("slow-for", 20*time.Millisecond, "stall applied by latency faults and per chunk in slow mode")
+	tearPause := fs.Duration("tear-pause", 2*time.Millisecond, "pause between the halves of a torn write")
+	throttle := fs.Int("throttle-bps", 0, "per-direction bandwidth cap in bytes/sec (0 = unlimited)")
+	script := fs.String("script", "", "wall-clock phase schedule, e.g. pass:2s,blackhole:1s,corrupt:2s,slow:2s (mode returns to pass after the last phase)")
+	runFor := fs.Duration("run-for", 0, "exit after this long (0 = run until signalled)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	logger := log.New(os.Stderr, "netfaultproxy ", log.LstdFlags|log.Lmicroseconds)
+	if *target == "" {
+		logger.Printf("-target is required")
+		return 2
+	}
+
+	phases, err := parseScript(*script)
+	if err != nil {
+		logger.Printf("%v", err)
+		return 2
+	}
+	plan := netfault.Plan{
+		Seed:        *seed,
+		FaultEvery:  *faultEvery,
+		WCorrupt:    *wCorrupt,
+		WTear:       *wTear,
+		WReset:      *wReset,
+		WLatency:    *wLatency,
+		SlowFor:     *slowFor,
+		TearPause:   *tearPause,
+		ThrottleBps: *throttle,
+		Script:      phases,
+	}
+	p, err := netfault.Start(*target, plan)
+	if err != nil {
+		logger.Printf("start: %v", err)
+		return 1
+	}
+	// The listen address goes to stdout so scripts can capture it.
+	fmt.Println(p.Addr())
+	logger.Printf("proxying %s -> %s (seed %d)", p.Addr(), *target, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
+	<-ctx.Done()
+
+	_ = p.Close() // best-effort: exiting anyway
+	conns, fwd, disc, corr, tears, resets, lats := p.Counters.Snapshot()
+	logger.Printf("done: conns=%d forwarded=%d discarded=%d corrupts=%d tears=%d resets=%d latencies=%d phase_flips=%d",
+		conns, fwd, disc, corr, tears, resets, lats, p.Counters.PhaseFlips.Load())
+	return 0
+}
+
+// parseScript decodes a "mode:duration,mode:duration" phase schedule.
+func parseScript(s string) ([]netfault.Phase, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var phases []netfault.Phase
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, durStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("script phase %q: want mode:duration", part)
+		}
+		mode, ok := netfault.ParseMode(name)
+		if !ok {
+			return nil, fmt.Errorf("script phase %q: unknown mode (pass, slow, corrupt, blackhole)", part)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("script phase %q: %v", part, err)
+		}
+		phases = append(phases, netfault.Phase{Mode: mode, For: d})
+	}
+	return phases, nil
+}

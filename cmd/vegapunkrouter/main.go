@@ -9,8 +9,13 @@
 //
 // Replica health is tracked passively from response flags (breaker
 // open, degraded, draining) and actively by ping probes; requests that
-// a replica sheds or fast-fails are retried once on the next-best
-// healthy sibling with the retry flagged in the response. The admin
+// a replica sheds or fast-fails are retried on the next-best healthy
+// sibling under a per-replica token-bucket retry budget
+// (-retry-budget-per-sec), with the retry flagged in the response.
+// -hedge-after arms hedged dispatch: a batch without a first response
+// inside the window is re-sent to the sibling (rate-capped by
+// -hedge-rate), and -max-inflight-lanes bounds admission so a
+// partitioned replica cannot queue-collapse the front end. The admin
 // listener serves /metrics (per-replica health, retries, failovers,
 // open connections, network-vs-server latency split, SLO burn) and
 // /healthz; with -replica-traces it also serves /debug/clustertrace,
@@ -53,6 +58,13 @@ func run() int {
 	sloTarget := fs.Duration("slo-target", 5*time.Millisecond, "per-request latency target for the rolling SLO window")
 	sloBudget := fs.Float64("slo-budget", 0.01, "tolerated fraction of requests over -slo-target")
 	sloWindow := fs.Int("slo-window", 1024, "requests held in the rolling SLO window")
+	retryPerSec := fs.Float64("retry-budget-per-sec", 50, "per-replica retry token refill rate; an empty bucket fails lanes terminally instead of amplifying load")
+	retryBurst := fs.Float64("retry-budget-burst", 100, "per-replica retry token bucket capacity")
+	hedgeAfter := fs.Duration("hedge-after", 0, "re-send a slow batch to the sibling after this long without a first response (0 disables hedging)")
+	hedgeRate := fs.Float64("hedge-rate", 0.1, "hedge tokens earned per forwarded batch; caps hedges as a fraction of traffic")
+	maxLanes := fs.Int("max-inflight-lanes", 4096, "router-wide bound on concurrently forwarded lanes; excess fails fast with overload")
+	retryAfter := fs.Duration("retry-after-hint", 25*time.Millisecond, "how long to route around a replica after it reports overload or loses a hedge race")
+	noResync := fs.Bool("no-backend-resync", false, "fail backend connections on a corrupt frame header instead of scanning to the next frame boundary")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return 2
 	}
@@ -82,6 +94,14 @@ func run() int {
 		SLOTarget:        *sloTarget,
 		SLOBudget:        *sloBudget,
 		SLOWindow:        *sloWindow,
+
+		RetryBudgetPerSec:    *retryPerSec,
+		RetryBudgetBurst:     *retryBurst,
+		HedgeAfter:           *hedgeAfter,
+		HedgeMaxRate:         *hedgeRate,
+		MaxInFlightLanes:     *maxLanes,
+		RetryAfterHint:       *retryAfter,
+		DisableBackendResync: *noResync,
 	})
 	if err != nil {
 		logger.Printf("%v", err)

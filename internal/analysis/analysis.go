@@ -12,9 +12,10 @@
 //     copied out via gf2.CopyVec or Clone.
 //   - lock-copy: values of internal/serve types containing sync or
 //     sync/atomic state must not be copied.
-//   - err-unchecked: commands under cmd/ and the serving and
-//     fault-injection layers (internal/serve, internal/faultinject)
-//     must not drop error returns.
+//   - err-unchecked: commands under cmd/ and the serving,
+//     fault-injection and network layers (internal/serve,
+//     internal/faultinject, internal/netfault, internal/wire,
+//     internal/cluster) must not drop error returns.
 //   - goroutine-lifecycle: every go statement must be structurally tied
 //     to a bounded lifecycle (a sync.WaitGroup Done, a channel receive
 //     or a range over a channel in the spawned body) or carry a

@@ -137,16 +137,17 @@ func containsLockState(t types.Type, seen map[types.Type]bool) bool {
 
 // errUncheckedScope reports whether a package directory is swept for
 // dropped error returns: every cmd/ binary, plus the serving,
-// fault-injection, wire-protocol and cluster-routing layers — a dropped
-// error there silently weakens the failure accounting the resilience
-// machinery depends on (a swallowed wire or backend error would turn a
-// terminal outcome into a hang).
+// fault-injection (process- and network-level), wire-protocol and
+// cluster-routing layers — a dropped error there silently weakens the
+// failure accounting the resilience machinery depends on (a swallowed
+// wire or backend error would turn a terminal outcome into a hang).
 func errUncheckedScope(rel string) bool {
 	if rel == "cmd" || strings.HasPrefix(rel, "cmd/") {
 		return true
 	}
 	switch rel {
-	case "internal/serve", "internal/faultinject", "internal/wire", "internal/cluster":
+	case "internal/serve", "internal/faultinject", "internal/wire",
+		"internal/cluster", "internal/netfault":
 		return true
 	}
 	return false

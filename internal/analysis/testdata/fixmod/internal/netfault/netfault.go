@@ -1,0 +1,23 @@
+// Package netfault seeds err-unchecked violations in the network
+// fault-injection layer: the sweep covers internal/netfault because a
+// dropped error in the proxy pumps would silently turn an injected
+// fault into a hang instead of the terminal outcome the chaos suite
+// asserts on.
+package netfault
+
+import "errors"
+
+func forward() error { return errors.New("torn") }
+
+func hardClose() error { return nil }
+
+// Pump exercises the statement forms the rule sweeps in this package.
+func Pump() {
+	forward()         // want(err-unchecked)
+	defer hardClose() // want(err-unchecked)
+	go forward()      // want(err-unchecked) want(goroutine-lifecycle)
+	_ = hardClose()   // clean: best-effort close, explicitly discarded
+	if err := forward(); err != nil {
+		_ = err
+	}
+}

@@ -41,6 +41,15 @@ type feLane struct {
 	resp  []byte // terminal response payload
 	done  bool
 
+	// Per-attempt response accounting, reset by forward: sent marks the
+	// lane as part of the attempt, answered that a response frame was
+	// consumed for it (possibly retryable, leaving done false), lost
+	// that a stream desync destroyed its response — the forward loop
+	// must not wait for a frame that will never arrive.
+	sent     bool
+	answered bool
+	lost     bool
+
 	// Telemetry relay state. A client-traced lane (the client sent
 	// FlagTelemetry) relays payloads untouched both ways under the
 	// client's trace id; an untraced lane gets a router-originated trace
@@ -64,18 +73,20 @@ type feConn struct {
 	bindings []*feBinding
 	bconns   []*wire.Client
 	bgen     []uint64 // bumped when bconns[i] is replaced; invalidates cached model ids
+	breconn  []bool   // replica lost its backend conn to a fault; next dial counts as a reconnect
 	lanes    []feLane
 	ring     *obs.Ring // router forward spans; single writer = this conn's goroutine
 }
 
 func newFEConn(rt *Router, conn net.Conn) *feConn {
 	return &feConn{
-		rt:     rt,
-		conn:   conn,
-		rd:     wire.NewReader(conn),
-		bconns: make([]*wire.Client, len(rt.replicas)),
-		bgen:   make([]uint64, len(rt.replicas)),
-		ring:   rt.acquireRing(),
+		rt:      rt,
+		conn:    conn,
+		rd:      wire.NewReader(conn),
+		bconns:  make([]*wire.Client, len(rt.replicas)),
+		bgen:    make([]uint64, len(rt.replicas)),
+		breconn: make([]bool, len(rt.replicas)),
+		ring:    rt.acquireRing(),
 	}
 }
 
@@ -202,6 +213,10 @@ func (f *feConn) backend(b *feBinding, rep *replica) (*wire.Client, error) {
 		if err != nil {
 			return nil, err
 		}
+		if f.breconn[i] {
+			f.rt.reconnects.Add(1)
+			f.breconn[i] = false
+		}
 		f.bconns[i] = c
 		f.bgen[i]++
 	}
@@ -233,8 +248,22 @@ func (f *feConn) dropBackend(rep *replica) {
 	if c := f.bconns[i]; c != nil {
 		rep.release(c, false)
 		f.bconns[i] = nil
+		f.breconn[i] = true
 	}
 	rep.markDown()
+}
+
+// abandonBackend is the hedge's loser cancellation: the connection to
+// the slow replica is discarded (any late responses die with it) but
+// the replica is NOT demoted — slow is not down, and marking it down
+// would dogpile its whole key range onto the sibling.
+func (f *feConn) abandonBackend(rep *replica) {
+	i := rep.idx
+	if c := f.bconns[i]; c != nil {
+		rep.release(c, false)
+		f.bconns[i] = nil
+		f.breconn[i] = true
+	}
 }
 
 // decodeBatch gathers the run of pipelined decode frames for one
@@ -277,19 +306,56 @@ func (f *feConn) decodeBatch(h wire.Header, payload []byte) (nh wire.Header, np 
 	}
 	lanes := f.lanes[:k]
 
-	// First attempt on the rendezvous winner, then one retry of
-	// whatever is still undone (transport loss or retryable status) on
-	// the next-best sibling.
-	first := f.rt.pick(b.keyHash, nil)
-	if first != nil {
-		f.forward(b, first, lanes, false)
+	// Admission control: a batch that would push the router past its
+	// in-flight lane bound fails fast with a terminal overload instead
+	// of queueing — a partitioned replica holds its lanes for a full IO
+	// timeout each, and unbounded queueing behind that collapses the
+	// front end for every client.
+	admitted := true
+	if maxLanes := int64(f.rt.cfg.MaxInFlightLanes); maxLanes > 0 {
+		if f.rt.inflightLanes.Add(int64(k)) > maxLanes {
+			f.rt.inflightLanes.Add(int64(-k))
+			f.rt.admissionRejected.Add(uint64(k))
+			admitted = false
+		}
 	}
-	if undone := countUndone(lanes); undone > 0 {
-		if sib := f.rt.pick(b.keyHash, first); sib != nil {
-			f.rt.retries.Add(uint64(undone))
-			f.forward(b, sib, lanes, true)
-		} else if first == nil {
-			f.rt.noReplica.Add(uint64(undone))
+
+	if admitted {
+		// First attempt on the rendezvous winner. A fired hedge leaves
+		// its undone lanes for the sibling pass below — the hedge IS
+		// the retry, pre-authorised by the hedge bucket, so it bypasses
+		// the failing-replica retry budget.
+		first := f.rt.pick(b.keyHash, nil)
+		hedged := false
+		if first != nil {
+			hedged = f.forward(b, first, lanes, false)
+		}
+		if undone := countUndone(lanes); undone > 0 {
+			sib := f.rt.pick(b.keyHash, first)
+			allowed := sib != nil
+			if allowed && first != nil && !hedged &&
+				!first.budget.take(obs.Tick(), float64(undone)) {
+				// Retry budget exhausted: fail terminally rather than
+				// amplify load while the replica set is degraded.
+				first.retryExhausted.Add(uint64(undone))
+				allowed = false
+			}
+			if allowed {
+				if !hedged {
+					f.rt.retries.Add(uint64(undone))
+				}
+				f.forward(b, sib, lanes, true)
+				if hedged {
+					if won := undone - countUndone(lanes); won > 0 {
+						f.rt.hedgeWins.Add(uint64(won))
+					}
+				}
+			} else if first == nil && sib == nil {
+				f.rt.noReplica.Add(uint64(undone))
+			}
+		}
+		if maxLanes := int64(f.rt.cfg.MaxInFlightLanes); maxLanes > 0 {
+			f.rt.inflightLanes.Add(int64(-k))
 		}
 	}
 	for i := range lanes {
@@ -297,7 +363,11 @@ func (f *feConn) decodeBatch(h wire.Header, payload []byte) (nh wire.Header, np 
 		if !ln.done {
 			ln.op = wire.OpError
 			ln.flags = f.routerFlags()
-			ln.resp = appendErrPayload(ln.resp[:0], wire.StatusOverload, "no usable replica") //vegapunk:allow(alloc) error path
+			if admitted {
+				ln.resp = appendErrPayload(ln.resp[:0], wire.StatusOverload, "no usable replica") //vegapunk:allow(alloc) error path
+			} else {
+				ln.resp = appendErrPayload(ln.resp[:0], wire.StatusOverload, "router at capacity") //vegapunk:allow(alloc) error path
+			}
 			ln.done = true
 		}
 	}
@@ -351,10 +421,19 @@ func (f *feConn) armTrace(ln *feLane, flags wire.Flags) {
 // forward sends every undone lane to rep and records terminal
 // responses. Lanes answered with a retryable status stay undone unless
 // this is already the retry attempt; a transport failure leaves all
-// unanswered lanes undone and demotes the replica.
+// unanswered lanes undone and demotes the replica. On a primary
+// attempt with hedging configured, a first response slower than
+// HedgeAfter abandons the connection (loser cancellation) and reports
+// true — the caller re-sends the undone lanes to the sibling.
+//
+// The response loop tolerates backend stream desyncs: responses arrive
+// in request order, so a frame matching a lane deeper in the attempt
+// means the skipped lanes' responses were destroyed by a resync — they
+// are marked lost (eligible for retry) instead of stalling the loop on
+// frames that will never arrive.
 //
 //vegapunk:hotpath
-func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried bool) {
+func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried bool) (hedged bool) {
 	c, err := f.backend(b, rep)
 	if err != nil {
 		var se *wire.StatusError
@@ -374,85 +453,232 @@ func (f *feConn) forward(b *feBinding, rep *replica, lanes []feLane, retried boo
 				ln.done = true
 			}
 		}
-		return
+		return false
 	}
 	beID := uint16(b.beID[rep.idx])
 	n := 0
 	for i := range lanes {
-		if lanes[i].done {
+		ln := &lanes[i]
+		ln.sent, ln.answered, ln.lost = false, false, false
+		if ln.done {
 			continue
 		}
 		var fl wire.Flags
-		if lanes[i].traced {
+		if ln.traced {
 			fl = wire.FlagTelemetry
 		}
-		c.QueueFrame(wire.OpDecode, fl, beID, lanes[i].reqID, lanes[i].syn)
+		c.QueueFrame(wire.OpDecode, fl, beID, ln.reqID, ln.syn)
+		ln.sent = true
 		n++
 	}
 	if n == 0 {
-		return
+		return false
 	}
 	if err := c.Flush(); err != nil {
 		f.dropBackend(rep)
-		return
+		return false
+	}
+	// Hedging applies to primary attempts only; each one earns the
+	// bucket its fractional hedge token here.
+	hedgeAfter := f.rt.cfg.HedgeAfter
+	armed := !retried && hedgeAfter > 0
+	if armed {
+		f.rt.hedgeBucket.deposit(f.rt.cfg.HedgeMaxRate)
 	}
 	// flushTick opens every forward span for this batch: the frames are
 	// handed to the kernel, so replica-side work strictly follows it.
 	flushTick := obs.Tick()
-	// Responses arrive in request order over the undone lanes.
-	cursor := 0
+	preDesyncs := c.Desyncs()
+	expect := 0 // first lane that may still receive a response
+	probed := false
+	garbage := 0
 	var tm wire.ServerTiming
-	for resp := 0; resp < n; resp++ {
-		rh, rp, rerr := c.ReadFrame()
+	for {
+		for expect < len(lanes) {
+			ln := &lanes[expect]
+			if ln.sent && !ln.answered && !ln.lost {
+				break
+			}
+			expect++
+		}
+		if expect >= len(lanes) {
+			break // every sent lane answered or written off as lost
+		}
+		var rh wire.Header
+		var rp []byte
+		var rerr error
+		if armed && !probed {
+			// The hedge window covers time-to-first-response: one slow
+			// head-of-line decode is the signal a congested link gives.
+			probed = true
+			rh, rp, rerr = c.ReadFrameTimeout(hedgeAfter)
+			if rerr != nil && isNetTimeout(rerr) {
+				now := obs.Tick()
+				sib := f.rt.pick(b.keyHash, rep)
+				if sib != nil && State(sib.state.Load()) == StateHealthy &&
+					sib.suspendUntil.Load() <= now &&
+					f.rt.hedgeBucket.take(now, 1) {
+					f.rt.hedges.Add(1)
+					// A fired hedge is outlier ejection: deprioritise the
+					// slow replica for RetryAfterHint so the next batches
+					// route to the sibling directly instead of paying the
+					// hedge window again on a link that is still slow.
+					rep.suspend(now, f.rt.cfg.RetryAfterHint)
+					f.abandonBackend(rep)
+					return true
+				}
+				// No healthy sibling or out of hedge tokens: wait out
+				// the full IO deadline on the primary. The header read
+				// is non-destructive, so the stream is still framed.
+				rh, rp, rerr = c.ReadFrame()
+			}
+		} else {
+			rh, rp, rerr = c.ReadFrame()
+		}
 		if rerr != nil {
+			f.rt.desyncs.Add(c.Desyncs() - preDesyncs)
 			f.dropBackend(rep)
-			return
+			return false
 		}
 		recvTick := obs.Tick()
-		for cursor < len(lanes) && lanes[cursor].done {
-			cursor++
-		}
-		if cursor >= len(lanes) || rh.ReqID != lanes[cursor].reqID ||
-			(rh.Op != wire.OpResult && rh.Op != wire.OpError) {
+		if rh.Op != wire.OpResult && rh.Op != wire.OpError {
 			f.rt.protoErrors.Add(1)
+			f.rt.desyncs.Add(c.Desyncs() - preDesyncs)
 			f.dropBackend(rep)
-			return
+			return false
+		}
+		// In-order matching with skip-ahead: find the lane this frame
+		// answers among those still awaiting a response.
+		match := -1
+		for j := expect; j < len(lanes); j++ {
+			ln := &lanes[j]
+			if !ln.sent || ln.answered || ln.lost {
+				continue
+			}
+			if ln.reqID == rh.ReqID {
+				match = j
+				break
+			}
+		}
+		if match < 0 {
+			// No live lane wants this frame: a resync artifact. Drop
+			// it, bounded — a stream emitting only garbage is dead.
+			garbage++
+			if garbage > len(lanes)+4 {
+				f.rt.protoErrors.Add(1)
+				f.rt.desyncs.Add(c.Desyncs() - preDesyncs)
+				f.dropBackend(rep)
+				return false
+			}
+			continue
+		}
+		for j := expect; j < match; j++ {
+			ln := &lanes[j]
+			if ln.sent && !ln.answered && !ln.lost {
+				ln.lost = true // its response died upstream of the resync
+			}
 		}
 		status, perr := wire.PeekStatus(rp)
 		if perr != nil {
 			f.rt.protoErrors.Add(1)
+			f.rt.desyncs.Add(c.Desyncs() - preDesyncs)
 			f.dropBackend(rep)
-			return
+			return false
 		}
 		rep.observeFlags(rh.Flags)
-		ln := &lanes[cursor]
-		cursor++
+		ln := &lanes[match]
+		ln.answered = true
 		wall := recvTick - flushTick
-		if status == wire.StatusOK && wire.PeekServerTiming(&tm, rh.Flags, rp) {
+		peeked := status == wire.StatusOK && wire.PeekServerTiming(&tm, rh.Flags, rp)
+		timed := peeked && plausibleTiming(&tm)
+		if timed {
 			rep.observeTiming(wall, &tm, recvTick)
 		}
+		if status == wire.StatusOverload {
+			// Retry-After honoring: the replica asked for breathing
+			// room; deprioritise it until the hint expires.
+			rep.suspend(recvTick, f.rt.cfg.RetryAfterHint)
+		}
 		if status.Retryable() && !retried {
-			continue // stays undone; the sibling attempt re-sends it
+			continue // answered but undone; the sibling attempt re-sends it
+		}
+		if (status == wire.StatusBadRequest || status == wire.StatusUnknownModel) && !retried {
+			// The router resolved this model on the backend at hello time
+			// and the client's frame parsed here, so these point at the
+			// forwarded frame being corrupted en route or the replica
+			// losing its binding — both worth one sibling attempt. A
+			// genuinely malformed request fails identically there and
+			// turns terminal.
+			continue
+		}
+		if ln.strip && status == wire.StatusOK && !timed {
+			// The router injected telemetry into this request itself, so a
+			// well-formed OK result must end in a recognizable timing
+			// block. One that does not was corrupted in flight: leave the
+			// lane answered-but-undone (retry-eligible) rather than relay
+			// a payload the client cannot parse.
+			continue
+		}
+		if peeked && !timed {
+			// A v1 timing block whose stage values fail the plausibility
+			// bound was corrupted in flight; on a client-traced lane the
+			// garbage would flow straight into the client's split stats.
+			continue
+		}
+		relayFlags := rh.Flags
+		if ln.strip {
+			// Router-originated telemetry: the client never asked for it,
+			// so the timing block and flag must not leak downstream.
+			relayFlags &^= wire.FlagTelemetry
+			rp = wire.TrimServerTiming(rh.Flags, rp)
+		}
+		if rh.Op == wire.OpResult && !wire.ValidResultPayload(relayFlags, rp, b.mech, b.nobs) {
+			// Structurally unsound payload (a flipped vector-length byte,
+			// a mangled telemetry tail): the client's only recourse would
+			// be tearing down the stream. Leave the lane answered-but-
+			// undone so the sibling pass re-decodes it.
+			continue
 		}
 		f.rt.slo.observe(wall)
 		if ln.sampled {
 			f.ring.Record(obs.StageRouterForward, int32(rep.idx), uint32(ln.traceID), flushTick, recvTick)
 		}
 		ln.op = rh.Op
-		ln.flags = rh.Flags
+		ln.flags = relayFlags
 		if retried {
 			ln.flags |= wire.FlagRetried
-		}
-		if ln.strip {
-			// Router-originated telemetry: the client never asked for it,
-			// so the timing block and flag must not leak downstream.
-			ln.flags &^= wire.FlagTelemetry
-			rp = wire.TrimServerTiming(rh.Flags, rp)
 		}
 		ln.resp = append(ln.resp[:0], rp...) //vegapunk:allow(alloc) lane scratch grows to the response size once per connection
 		ln.done = true
 		rep.decodes.Add(1)
 	}
+	f.rt.desyncs.Add(c.Desyncs() - preDesyncs)
+	return false
+}
+
+// plausibleTiming rejects server-timing blocks whose stage components
+// were corrupted in flight: the wire protocol has no checksum, so a
+// flipped byte inside an i64 shows up as a negative or absurdly large
+// stage time. Feeding that into the health stats would poison the
+// network/server split and the SLO burn; an hour bounds any real stage
+// far above every configured timeout while catching random corruption
+// of the high bytes.
+//
+//vegapunk:hotpath
+func plausibleTiming(tm *wire.ServerTiming) bool {
+	const maxStageNs = int64(time.Hour)
+	return tm.QueueWaitNs >= 0 && tm.QueueWaitNs <= maxStageNs &&
+		tm.BatchAssembleNs >= 0 && tm.BatchAssembleNs <= maxStageNs &&
+		tm.DecodeNs >= 0 && tm.DecodeNs <= maxStageNs &&
+		tm.CopyOutNs >= 0 && tm.CopyOutNs <= maxStageNs
+}
+
+// isNetTimeout reports a deadline-exceeded transport error.
+//
+//vegapunk:hotpath
+func isNetTimeout(err error) bool {
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
 }
 
 // growLanes sizes the lane scratch for at least n lanes.

@@ -22,15 +22,6 @@ func latencyBuckets() []float64 {
 // replicaLabels renders a replica's label set.
 func replicaLabels(rep *replica) string { return fmt.Sprintf("replica=%q", rep.addr) }
 
-// writeFloatGauge emits one float-valued gauge sample (no header).
-func writeFloatGauge(w io.Writer, name, labels string, v float64) {
-	if labels == "" {
-		fmt.Fprintf(w, "%s %g\n", name, v)
-		return
-	}
-	fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
-}
-
 // repCounterFam renders one per-replica counter family.
 func (r *Router) repCounterFam(w io.Writer, name, help string, get func(*replica) uint64) {
 	obs.WriteHeader(w, name, help, "counter")
@@ -74,6 +65,18 @@ func (r *Router) writeMetrics(w io.Writer) {
 		drain = 1
 	}
 	obs.WriteGaugeSample(w, "vegapunk_router_draining", "", drain)
+	obs.WriteHeader(w, "vegapunk_router_hedges_total", "Batches hedged onto the sibling replica after the primary exceeded the hedge deadline.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_hedges_total", "", r.hedges.Load())
+	obs.WriteHeader(w, "vegapunk_router_hedge_wins_total", "Lanes completed by the hedge target after loser cancellation.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_hedge_wins_total", "", r.hedgeWins.Load())
+	obs.WriteHeader(w, "vegapunk_router_desync_total", "Backend stream desyncs survived by resync (corrupt frame headers scanned past).", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_desync_total", "", r.desyncs.Load())
+	obs.WriteHeader(w, "vegapunk_router_reconnects_total", "Backend connections re-established after a transport failure or hedge abandonment.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_reconnects_total", "", r.reconnects.Load())
+	obs.WriteHeader(w, "vegapunk_router_admission_rejected_total", "Lanes refused by admission control because the in-flight bound was reached.", "counter")
+	obs.WriteCounterSample(w, "vegapunk_router_admission_rejected_total", "", r.admissionRejected.Load())
+	obs.WriteHeader(w, "vegapunk_router_inflight_lanes", "Lanes currently being forwarded (admission-control occupancy).", "gauge")
+	obs.WriteGaugeSample(w, "vegapunk_router_inflight_lanes", "", r.inflightLanes.Load())
 
 	r.repGaugeFam(w, "vegapunk_router_replica_health_state", "Replica health as routed (0 down, 1 draining, 2 healthy).",
 		func(rep *replica) int64 { return int64(rep.state.Load()) })
@@ -85,6 +88,13 @@ func (r *Router) writeMetrics(w io.Writer) {
 		func(rep *replica) uint64 { return rep.dialErrors.Load() })
 	r.repGaugeFam(w, "vegapunk_router_replica_open_connections", "Backend wire connections open to this replica.",
 		func(rep *replica) int64 { return rep.open.Load() })
+	r.repCounterFam(w, "vegapunk_router_retry_budget_exhausted_total", "Retries suppressed because this replica's retry budget was empty.",
+		func(rep *replica) uint64 { return rep.retryExhausted.Load() })
+	obs.WriteHeader(w, "vegapunk_router_retry_budget_tokens", "Retry tokens currently available for failures of this replica.", "gauge")
+	budgetNow := obs.Tick()
+	for _, rep := range r.replicas {
+		obs.WriteFloatGauge(w, "vegapunk_router_retry_budget_tokens", replicaLabels(rep), rep.budget.level(budgetNow))
+	}
 	r.repHistFam(w, "vegapunk_router_replica_network_seconds", "Network share of relayed decode latency: router flush-to-response wall clock minus the replica-reported decode-path time.",
 		func(rep *replica) *obs.Histogram { return rep.netSeconds })
 	r.repHistFam(w, "vegapunk_router_replica_server_seconds", "Replica-reported decode-path time (queue wait + decode + copy out) of relayed decodes.",
@@ -95,16 +105,16 @@ func (r *Router) writeMetrics(w io.Writer) {
 		if rep.offsetKnown.Load() {
 			off = rep.clockOffset.Load()
 		}
-		writeFloatGauge(w, "vegapunk_router_replica_clock_offset_seconds", replicaLabels(rep), obs.DurSeconds(off))
+		obs.WriteFloatGauge(w, "vegapunk_router_replica_clock_offset_seconds", replicaLabels(rep), obs.DurSeconds(off))
 	}
 
 	burn, seen := r.slo.burn(int64(r.cfg.SLOTarget), r.cfg.SLOBudget)
 	obs.WriteHeader(w, "vegapunk_router_slo_target_seconds", "Per-request latency target the rolling SLO window scores against.", "gauge")
-	writeFloatGauge(w, "vegapunk_router_slo_target_seconds", "", r.cfg.SLOTarget.Seconds())
+	obs.WriteFloatGauge(w, "vegapunk_router_slo_target_seconds", "", r.cfg.SLOTarget.Seconds())
 	obs.WriteHeader(w, "vegapunk_router_slo_window_requests", "Relayed requests currently held in the rolling SLO window.", "gauge")
 	obs.WriteGaugeSample(w, "vegapunk_router_slo_window_requests", "", int64(seen))
 	obs.WriteHeader(w, "vegapunk_router_slo_burn", "Rolling-window SLO burn rate: fraction of requests over target divided by the error budget. Sustained > 1 burns the budget faster than allowed.", "gauge")
-	writeFloatGauge(w, "vegapunk_router_slo_burn", "", burn)
+	obs.WriteFloatGauge(w, "vegapunk_router_slo_burn", "", burn)
 }
 
 // Handler returns the admin surface: /metrics, /healthz and the merged

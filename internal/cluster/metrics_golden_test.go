@@ -53,6 +53,13 @@ func TestRouterMetricsGolden(t *testing.T) {
 		"vegapunk_router_slo_target_seconds",
 		"vegapunk_router_slo_window_requests",
 		"vegapunk_router_slo_burn",
+		"vegapunk_router_retry_budget_tokens",
+		"vegapunk_router_retry_budget_exhausted_total",
+		"vegapunk_router_hedges_total",
+		"vegapunk_router_hedge_wins_total",
+		"vegapunk_router_desync_total",
+		"vegapunk_router_reconnects_total",
+		"vegapunk_router_admission_rejected_total",
 	} {
 		if !strings.Contains(got, "# TYPE "+fam+" ") {
 			t.Errorf("exposition missing family %s", fam)

@@ -1,0 +1,411 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"vegapunk/internal/gf2"
+	"vegapunk/internal/netfault"
+	"vegapunk/internal/wire"
+)
+
+// The network-chaos suite drives the router through internal/netfault
+// proxies and pins the tier's fault-tolerance contract: every client
+// request reaches exactly one terminal outcome (a response frame — OK
+// or error — never a client-side transport failure), goroutines return
+// to baseline, and hedged dispatch bounds the p99 of a slow link.
+
+// startProxied brings up two replicas, each behind its own netfault
+// proxy under plan, and a router that only knows the proxy addresses.
+// It returns the router, its client-facing address, and the proxies of
+// the rendezvous winner and sibling for testKey.
+func startProxied(t *testing.T, plan netfault.Plan, cfg Config) (rt *Router, raddr string, winProxy, sibProxy *netfault.Proxy) {
+	t.Helper()
+	_, addrA := startReplica(t, replicaConfig(), nil)
+	_, addrB := startReplica(t, replicaConfig(), nil)
+	pa, err := netfault.Start(addrA, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pa.Close() })
+	pb, err := netfault.Start(addrB, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pb.Close() })
+	cfg.Replicas = []string{pa.Addr(), pb.Addr()}
+	rt, raddr = startRouter(t, cfg)
+	winProxy, sibProxy = pa, pb
+	if rt.pick(hash64(testKey), nil).addr == pb.Addr() {
+		winProxy, sibProxy = pb, pa
+	}
+	return rt, raddr, winProxy, sibProxy
+}
+
+// appendSynPayload encodes an OpDecode payload (one vector block) the
+// way wire.AppendDecode does, for the raw-frame client path.
+func appendSynPayload(buf []byte, syn gf2.Vec) []byte {
+	n := syn.Len()
+	buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	for i, words := 0, (n+63)/64; i < words; i++ {
+		w := syn.Word(i)
+		buf = append(buf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return buf
+}
+
+// TestNetChaosCorruptExactOutcomes injects deterministic single-byte
+// corruption on both backend links. Corrupt frame headers desync the
+// backend streams (resync scans past them), corrupt payloads are
+// detected via the router-injected timing block and retried — and in
+// every case the client must receive exactly one response frame per
+// request, in order, with a parseable status. The raw-frame client
+// path is used on purpose: under payload corruption without checksums
+// the bits may be garbage, but the framing contract must hold.
+func TestNetChaosCorruptExactOutcomes(t *testing.T) {
+	plan := netfault.Plan{Seed: 0xC0FFEE, FaultEvery: 4096, WCorrupt: 1}
+	rt, raddr, winProxy, sibProxy := startProxied(t, plan, Config{
+		ProbeInterval:     20 * time.Millisecond,
+		RedialBackoff:     10 * time.Millisecond,
+		IOTimeout:         2 * time.Second,
+		RetryBudgetPerSec: 1000,
+		RetryBudgetBurst:  1000,
+	})
+	model, _ := clusterModel(t)
+	syndromes := sampleSyndromes(model, 32, 97)
+
+	c, err := wire.Dial(raddr, time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Hello(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds, batch = 60, 8
+	payload := make([]byte, 0, 64)
+	reqID := uint64(0)
+	for r := 0; r < rounds; r++ {
+		base := reqID
+		for j := 0; j < batch; j++ {
+			reqID++
+			payload = appendSynPayload(payload[:0], syndromes[int(reqID)%len(syndromes)])
+			c.QueueFrame(wire.OpDecode, 0, info.ID, reqID, payload)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatalf("flush round %d: %v", r, err)
+		}
+		for j := 0; j < batch; j++ {
+			h, p, err := c.ReadFrame()
+			if err != nil {
+				t.Fatalf("client transport error in round %d: %v (exactly-one-outcome violated)", r, err)
+			}
+			if h.Op != wire.OpResult && h.Op != wire.OpError {
+				t.Fatalf("round %d: unexpected response op %d", r, h.Op)
+			}
+			if want := base + uint64(j) + 1; h.ReqID != want {
+				t.Fatalf("round %d: response for req %d, want %d (outcome misattributed)", r, h.ReqID, want)
+			}
+			if _, err := wire.PeekStatus(p); err != nil {
+				t.Fatalf("round %d req %d: unparseable status: %v", r, h.ReqID, err)
+			}
+		}
+	}
+
+	if winProxy.Counters.Corrupts.Load()+sibProxy.Counters.Corrupts.Load() == 0 {
+		t.Fatal("plan injected no corruption; the test exercised nothing")
+	}
+	if rt.desyncs.Load() == 0 && rt.retries.Load() == 0 && rt.reconnects.Load() == 0 {
+		t.Fatal("corruption left no trace in desync/retry/reconnect counters")
+	}
+}
+
+// TestNetChaosPartitionFailover blackholes the rendezvous winner's
+// link mid-traffic: requests already in flight fail over to the
+// sibling within the IO timeout, the winner is demoted, and healing
+// the link brings it back — without a single lost request or leaked
+// goroutine.
+func TestNetChaosPartitionFailover(t *testing.T) {
+	repCfg := replicaConfig()
+	repCfg.Workers, repCfg.PoolSize = 1, 1
+	_, addrA := startReplica(t, repCfg, nil)
+	_, addrB := startReplica(t, repCfg, nil)
+	model, _ := clusterModel(t)
+	syndromes := sampleSyndromes(model, 16, 11)
+
+	// Warm both replicas directly so their lazily started decode
+	// goroutines are up before the baseline; the warm connections stay
+	// open to the end so their handlers are counted in it too.
+	var warms []*wire.Client
+	for _, addr := range []string{addrA, addrB} {
+		w, err := wire.Dial(addr, time.Second, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		info, err := w.Hello(testKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res wire.Result
+		wire.SizeResult(&res, info.NumMech, info.NumObs)
+		if _, err := w.Decode(info.ID, 1, syndromes[0], &res); err != nil {
+			t.Fatal(err)
+		}
+		warms = append(warms, w)
+	}
+	_ = warms
+
+	pa, err := netfault.Start(addrA, netfault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := netfault.Start(addrB, netfault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+
+	rt, raddr := startRouter(t, Config{
+		Replicas:          []string{pa.Addr(), pb.Addr()},
+		ProbeInterval:     20 * time.Millisecond,
+		RedialBackoff:     10 * time.Millisecond,
+		IOTimeout:         400 * time.Millisecond,
+		RetryBudgetPerSec: 1000,
+		RetryBudgetBurst:  1000,
+	})
+	winner := rt.pick(hash64(testKey), nil)
+	winProxy, sibRep := pa, replicaByAddr(t, rt, pb.Addr())
+	if winner.addr == pb.Addr() {
+		winProxy, sibRep = pb, replicaByAddr(t, rt, pa.Addr())
+	}
+
+	c, err := wire.Dial(raddr, time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Hello(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wire.Result
+	wire.SizeResult(&res, info.NumMech, info.NumObs)
+	decode := func(reqID uint64) wire.Flags {
+		t.Helper()
+		flags, err := c.Decode(info.ID, reqID, syndromes[reqID%16], &res)
+		if err != nil {
+			t.Fatalf("decode %d: client transport error: %v (exactly-one-outcome violated)", reqID, err)
+		}
+		if res.Status != wire.StatusOK {
+			t.Fatalf("decode %d: status %s", reqID, res.Status)
+		}
+		return flags
+	}
+
+	for i := uint64(1); i <= 4; i++ {
+		decode(i)
+	}
+	if winner.decodes.Load() == 0 {
+		t.Fatal("pre-partition traffic must land on the rendezvous winner")
+	}
+
+	// Partition: the link exists but moves nothing. The first in-flight
+	// request rides the IO timeout, fails over, and demotes the winner.
+	winProxy.SetMode(netfault.ModeBlackhole)
+	sawRetried := false
+	for i := uint64(5); i <= 20; i++ {
+		if decode(i)&wire.FlagRetried != 0 {
+			sawRetried = true
+		}
+	}
+	if !sawRetried {
+		t.Fatal("no response carried FlagRetried across the partition")
+	}
+	if rt.retries.Load() == 0 {
+		t.Fatal("partition failover left the retry counter at zero")
+	}
+	if sibRep.decodes.Load() == 0 {
+		t.Fatal("sibling served no traffic during the partition")
+	}
+	waitState(t, rt, winner.addr, StateDown)
+
+	// Heal: probes bring the winner back and traffic returns to it.
+	winProxy.SetMode(netfault.ModePass)
+	waitState(t, rt, winner.addr, StateHealthy)
+	before := winner.decodes.Load()
+	for i := uint64(21); i <= 24; i++ {
+		decode(i)
+	}
+	if winner.decodes.Load() == before {
+		t.Fatal("healed winner served no traffic")
+	}
+
+	_ = c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatalf("router shutdown: %v", err)
+	}
+	_ = pa.Close()
+	_ = pb.Close()
+	waitGoroutinesBack(t, base)
+}
+
+// TestNetChaosTornWritesAndResets runs sustained traffic through links
+// that tear writes at byte offsets, stall, and inject mid-stream RSTs.
+// Every request must still reach exactly one terminal outcome, most
+// must succeed (failover absorbs the resets), reconnects must be
+// accounted, and the per-request p99 stays bounded by the IO timeout —
+// the tier degrades, it does not hang.
+func TestNetChaosTornWritesAndResets(t *testing.T) {
+	plan := netfault.Plan{
+		Seed:       7,
+		FaultEvery: 1024,
+		WTear:      3,
+		WReset:     1,
+		WLatency:   1,
+		SlowFor:    time.Millisecond,
+		TearPause:  time.Millisecond,
+	}
+	rt, raddr, winProxy, sibProxy := startProxied(t, plan, Config{
+		ProbeInterval:     20 * time.Millisecond,
+		RedialBackoff:     10 * time.Millisecond,
+		IOTimeout:         500 * time.Millisecond,
+		RetryBudgetPerSec: 1000,
+		RetryBudgetBurst:  1000,
+	})
+	model, _ := clusterModel(t)
+	syndromes := sampleSyndromes(model, 32, 41)
+
+	c, err := wire.Dial(raddr, time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Hello(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wire.Result
+	wire.SizeResult(&res, info.NumMech, info.NumObs)
+
+	const n = 200
+	ok, errs := 0, 0
+	lats := make([]time.Duration, 0, n)
+	for i := 1; i <= n; i++ {
+		start := time.Now()
+		if _, err := c.Decode(info.ID, uint64(i), syndromes[i%32], &res); err != nil {
+			t.Fatalf("decode %d: client transport error: %v (exactly-one-outcome violated)", i, err)
+		}
+		lats = append(lats, time.Since(start))
+		if res.Status == wire.StatusOK {
+			ok++
+		} else {
+			errs++
+		}
+	}
+	if ok+errs != n {
+		t.Fatalf("terminal outcomes = %d, want %d", ok+errs, n)
+	}
+	// Both links carry the same fault plan, so between probe rounds the
+	// whole replica set can be briefly down: back-to-back requests then
+	// fail fast with overload (correct — fail fast, never hang) until
+	// the next probe rejoins a replica. A majority must still succeed.
+	if ok < n/2 {
+		t.Fatalf("too few successes under torn writes and resets: %d ok, %d errors", ok, errs)
+	}
+	tears := winProxy.Counters.Tears.Load() + sibProxy.Counters.Tears.Load()
+	resets := winProxy.Counters.Resets.Load() + sibProxy.Counters.Resets.Load()
+	if tears == 0 || resets == 0 {
+		t.Fatalf("plan injected tears=%d resets=%d; the test exercised nothing", tears, resets)
+	}
+	if rt.reconnects.Load() == 0 {
+		t.Fatal("resets severed backend connections but no reconnect was accounted")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	// Worst case per request: ride the primary's IO timeout, then the
+	// sibling pass (including its own possible redial). Anything beyond
+	// 3x the IO timeout means a request hung instead of failing over.
+	if p99 := lats[len(lats)*99/100]; p99 > 1500*time.Millisecond {
+		t.Fatalf("p99 %v exceeds the failover bound (IO timeout 500ms)", p99)
+	}
+}
+
+// measureSlowLink runs sequential decodes through a router whose
+// rendezvous winner sits behind a uniformly slow link (25ms per chunk,
+// both directions) and returns the worst observed latency. hedge == 0
+// disables hedged dispatch.
+func measureSlowLink(t *testing.T, hedge time.Duration) (worst time.Duration, rt *Router) {
+	t.Helper()
+	plan := netfault.Plan{SlowFor: 25 * time.Millisecond}
+	rt, raddr, winProxy, _ := startProxied(t, plan, Config{
+		ProbeInterval:     20 * time.Millisecond,
+		IOTimeout:         2 * time.Second,
+		HedgeAfter:        hedge,
+		HedgeMaxRate:      1,
+		RetryAfterHint:    10 * time.Second,
+		RetryBudgetPerSec: 1000,
+		RetryBudgetBurst:  1000,
+	})
+	model, _ := clusterModel(t)
+	syndromes := sampleSyndromes(model, 16, 5)
+
+	c, err := wire.Dial(raddr, time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.Hello(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wire.Result
+	wire.SizeResult(&res, info.NumMech, info.NumObs)
+
+	winProxy.SetMode(netfault.ModeSlow)
+	defer winProxy.SetMode(netfault.ModePass)
+	const n = 24
+	for i := 1; i <= n; i++ {
+		start := time.Now()
+		if _, err := c.Decode(info.ID, uint64(i), syndromes[i%16], &res); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if res.Status != wire.StatusOK {
+			t.Fatalf("decode %d: status %s", i, res.Status)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	return worst, rt
+}
+
+// TestNetChaosHedgedSlowLinkP99 is the hedging keystone: with the
+// rendezvous winner behind a uniformly slow link, hedged dispatch must
+// cut the worst-case client latency to less than half of the unhedged
+// run — the first slow batch hedges onto the sibling and the outlier
+// ejection routes the rest there directly.
+func TestNetChaosHedgedSlowLinkP99(t *testing.T) {
+	slow, rtOff := measureSlowLink(t, 0)
+	fast, rtOn := measureSlowLink(t, 5*time.Millisecond)
+
+	if got := rtOff.hedges.Load(); got != 0 {
+		t.Fatalf("hedging fired %d times while disabled", got)
+	}
+	if rtOn.hedges.Load() == 0 || rtOn.hedgeWins.Load() == 0 {
+		t.Fatalf("hedging never fired on the slow link: hedges=%d wins=%d",
+			rtOn.hedges.Load(), rtOn.hedgeWins.Load())
+	}
+	if 2*fast >= slow {
+		t.Fatalf("hedged worst-case %v is not under half the unhedged %v", fast, slow)
+	}
+	t.Logf("slow-link worst-case latency: unhedged %v, hedged %v", slow, fast)
+}

@@ -3,8 +3,16 @@
 // requests out across replica vegapunkd processes. Model keys shard by
 // rendezvous (highest-random-weight) hashing, replica health is tracked
 // passively from response flags and actively by ping probes, and
-// shed/overload outcomes get a single retry on the next-best healthy
-// sibling so one slow or dying replica does not surface to clients.
+// shed/overload/transport outcomes retry on the next-best healthy
+// sibling under a per-replica token-bucket retry budget so one slow or
+// dying replica does not surface to clients — and cannot trigger a
+// retry storm onto the survivors. Optional hedged dispatch re-sends a
+// slow batch to the sibling after Config.HedgeAfter (loser
+// cancellation, rate-capped), admission control bounds in-flight lanes,
+// and backend streams resync across corrupt frames, so the tier holds
+// its exactly-one-terminal-outcome invariant and p99 bound under
+// partitions, corruption, torn writes and mid-stream resets
+// (internal/netfault drives these in the network-chaos suite).
 package cluster
 
 import (
@@ -61,6 +69,40 @@ type Config struct {
 	// SLOWindow is how many recent requests the rolling window holds
 	// (default 1024).
 	SLOWindow int
+
+	// RetryBudgetPerSec refills each replica's retry token bucket
+	// (default 50/s), capped at RetryBudgetBurst (default 100). A lane
+	// is retried on the sibling only while the failing replica's bucket
+	// has tokens; an empty bucket fails the lane terminally instead of
+	// amplifying load onto the survivors during a brown-out.
+	RetryBudgetPerSec float64
+	RetryBudgetBurst  float64
+	// HedgeAfter, when > 0, arms hedged dispatch: if the primary
+	// replica has not produced the first response of a batch within
+	// HedgeAfter, the router abandons that connection (loser
+	// cancellation — the slow replica is NOT marked down) and re-sends
+	// the undone lanes to the healthy sibling. Zero disables hedging.
+	HedgeAfter time.Duration
+	// HedgeMaxRate caps hedges as a fraction of forwarded batches
+	// (default 0.1): each primary batch earns that many hedge tokens
+	// and firing a hedge spends one, so a uniformly slow link cannot
+	// double the fleet's load.
+	HedgeMaxRate float64
+	// MaxInFlightLanes bounds router-wide concurrently forwarded lanes
+	// (default 4096). Excess lanes fail fast with StatusOverload so a
+	// partitioned replica cannot queue-collapse the front end.
+	MaxInFlightLanes int
+	// RetryAfterHint is how long routing deprioritises a replica after
+	// it answers StatusOverload (default 25ms) — the wire protocol's
+	// Retry-After: the replica asked for breathing room, so prefer the
+	// sibling until the hint expires. A fired hedge applies the same
+	// suspension to the slow replica (outlier ejection), and a suspended
+	// replica is never chosen as a hedge target.
+	RetryAfterHint time.Duration
+	// DisableBackendResync turns off wire-stream resync on backend
+	// connections; a corrupt frame header then fails the connection
+	// instead of scanning for the next frame boundary.
+	DisableBackendResync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +135,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SLOWindow <= 0 {
 		c.SLOWindow = 1024
+	}
+	if c.RetryBudgetPerSec <= 0 {
+		c.RetryBudgetPerSec = 50
+	}
+	if c.RetryBudgetBurst <= 0 {
+		c.RetryBudgetBurst = 100
+	}
+	if c.HedgeMaxRate <= 0 {
+		c.HedgeMaxRate = 0.1
+	}
+	if c.MaxInFlightLanes <= 0 {
+		c.MaxInFlightLanes = 4096
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = 25 * time.Millisecond
 	}
 	return c
 }
@@ -147,6 +204,16 @@ type replica struct {
 	dialErrors obs.Counter
 	open       obs.Gauge
 
+	// budget is the retry token bucket: retries of lanes this replica
+	// failed draw from it, and exhaustion fails the lane terminally.
+	budget         tokenBucket
+	retryExhausted obs.Counter
+	// suspendUntil deprioritises routing to this replica until the obs
+	// tick it holds: set when the replica answers StatusOverload
+	// (Retry-After honoring). A suspended healthy replica ranks as
+	// draining in pick, so it still serves as the last resort.
+	suspendUntil atomic.Int64
+
 	// Telemetry split: router wall clock per relayed decode minus the
 	// replica-reported decode-path time (queue wait + decode + copy
 	// out) is network time; the remainder is server time.
@@ -188,6 +255,20 @@ func (r *replica) observeTiming(wallNs int64, tm *wire.ServerTiming, recvTick in
 			r.offsetKnown.Store(true)
 			return
 		}
+	}
+}
+
+// suspend deprioritises the replica for d after it reported overload.
+//
+//vegapunk:hotpath
+func (r *replica) suspend(now int64, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	until := now + int64(d)
+	if until > r.suspendUntil.Load() {
+		// Benign race: concurrent suspensions differ by nanoseconds.
+		r.suspendUntil.Store(until)
 	}
 }
 
@@ -245,6 +326,12 @@ func (r *replica) acquire(cfg *Config) (*wire.Client, error) {
 	}
 	r.backoffNs.Store(0)
 	r.open.Add(1)
+	if !cfg.DisableBackendResync {
+		// A corrupt backend frame header scans forward to the next
+		// frame boundary instead of killing the connection; lanes whose
+		// responses the scan skipped are reconciled by the forward loop.
+		c.EnableResync()
+	}
 	return c, nil
 }
 
@@ -284,6 +371,20 @@ type Router struct {
 	retries     obs.Counter
 	noReplica   obs.Counter
 	protoErrors obs.Counter
+
+	// Network-fault-tolerance accounting: hedged batches and the subset
+	// whose lanes the sibling actually completed, backend stream
+	// desyncs survived by resync, backend connections re-established
+	// after a transport failure, and lanes refused by admission control.
+	hedges            obs.Counter
+	hedgeWins         obs.Counter
+	desyncs           obs.Counter
+	reconnects        obs.Counter
+	admissionRejected obs.Counter
+	// hedgeBucket caps hedges as a fraction of forwarded batches;
+	// inflightLanes is the admission-control occupancy.
+	hedgeBucket   tokenBucket
+	inflightLanes atomic.Int64
 
 	// tracer records the router's own forward spans (one ring per
 	// client connection) and issues trace ids for requests that arrive
@@ -339,6 +440,10 @@ func New(cfg Config) (*Router, error) {
 		tracer:    obs.NewTracer(obs.TracerConfig{SampleEvery: cfg.TraceSampleEvery}),
 		slo:       newSLOWindow(cfg.SLOWindow),
 	}
+	now := obs.Tick()
+	// The hedge bucket earns HedgeMaxRate per batch; a burst of 8
+	// absorbs a short slow spell without exceeding the long-run rate.
+	r.hedgeBucket.init(0, 8, now)
 	for i, addr := range cfg.Replicas {
 		rep := &replica{
 			addr:          addr,
@@ -351,6 +456,7 @@ func New(cfg Config) (*Router, error) {
 		if i < len(cfg.TraceURLs) {
 			rep.traceURL = cfg.TraceURLs[i]
 		}
+		rep.budget.init(cfg.RetryBudgetPerSec, cfg.RetryBudgetBurst, now)
 		rep.state.Store(int32(StateHealthy))
 		r.replicas = append(r.replicas, rep)
 	}
@@ -388,13 +494,16 @@ func mix64(x uint64) uint64 {
 
 // pick returns the rendezvous winner for keyHash among usable replicas
 // (healthy preferred over draining, down excluded), skipping exclude —
-// the retry sibling selector.
+// the retry sibling selector. A healthy replica inside its overload
+// suspension window (Retry-After honoring) ranks as draining: still
+// usable as the last resort, but routed around while the hint holds.
 //
 //vegapunk:hotpath
 func (r *Router) pick(keyHash uint64, exclude *replica) *replica {
 	var best *replica
 	var bestScore uint64
 	bestState := StateDown
+	now := int64(-1)
 	for _, rep := range r.replicas {
 		if rep == exclude {
 			continue
@@ -402,6 +511,16 @@ func (r *Router) pick(keyHash uint64, exclude *replica) *replica {
 		st := State(rep.state.Load())
 		if st == StateDown {
 			continue
+		}
+		if st == StateHealthy {
+			if su := rep.suspendUntil.Load(); su > 0 {
+				if now < 0 {
+					now = obs.Tick()
+				}
+				if su > now {
+					st = StateDraining
+				}
+			}
 		}
 		score := mix64(rep.hash ^ keyHash)
 		if best == nil || st > bestState || (st == bestState && score > bestScore) {

@@ -9,6 +9,11 @@
 // seeded with (Plan.Seed, instance index), so a fixed plan plus a fixed
 // instance-creation order replays the exact same fault schedule — the
 // property that makes chaos test failures debuggable.
+//
+// faultinject covers process-level faults (a decoder misbehaving in
+// situ); its network-level counterpart is package netfault, a
+// deterministic TCP proxy that injects byte corruption, torn writes,
+// resets and latency on the wire between router and replica.
 package faultinject
 
 import (

@@ -35,6 +35,16 @@ func WriteGaugeSample(w io.Writer, name, labels string, v int64) {
 	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
 }
 
+// WriteFloatGauge emits one float-valued gauge sample (no header):
+// SLO burn rates, clock offsets, token-bucket levels.
+func WriteFloatGauge(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %g\n", name, labels, v)
+}
+
 // WriteProm renders the histogram's cumulative buckets, _sum and
 // _count under the given family name and label set (no header).
 func (h *Histogram) WriteProm(w io.Writer, name, labels string) {

@@ -264,7 +264,7 @@ func (s *Server) wireHello(st *wireConnState, h wire.Header, payload []byte) err
 		return st.write()
 	}
 	if len(st.models) >= 1<<16 {
-		st.wbuf = wire.AppendError(st.wbuf[:0], 0, h.ReqID,
+		st.wbuf = wire.AppendError(st.wbuf[:0], s.wireHealthFlags(nil, obs.Tick()), h.ReqID,
 			wire.StatusBadRequest, "model id space exhausted on this connection")
 		return st.write()
 	}
@@ -286,7 +286,10 @@ func (s *Server) wireHello(st *wireConnState, h wire.Header, payload []byte) err
 func (s *Server) wireDecodeBatch(st *wireConnState, h wire.Header, payload []byte) (nh wire.Header, np []byte, pending bool, err error) {
 	if int(h.ModelID) >= len(st.models) {
 		s.wireDecodes.Add(1)
-		st.wbuf = wire.AppendError(st.wbuf[:0], 0, h.ReqID, //vegapunk:allow(alloc) error path: unknown model id
+		// Health flags ride every response, including request-level errors:
+		// the router's passive health tracking must not be starved just
+		// because a client sent a bad model id while the replica drains.
+		st.wbuf = wire.AppendError(st.wbuf[:0], s.wireHealthFlags(nil, obs.Tick()), h.ReqID, //vegapunk:allow(alloc) error path: unknown model id
 			wire.StatusUnknownModel, "model id not resolved on this connection") //vegapunk:allow(alloc) error path
 		return wire.Header{}, nil, false, st.write()
 	}

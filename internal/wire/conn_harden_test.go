@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"vegapunk/internal/gf2"
+)
+
+func synPattern(n int, stride int) gf2.Vec {
+	v := gf2.NewVec(n)
+	for i := 0; i < n; i += stride {
+		v.Set(i, true)
+	}
+	return v
+}
+
+// TestReaderHeaderDeadlineRetry proves a read deadline firing
+// mid-header is non-destructive: the header is Peeked, so nothing is
+// consumed and the same read can be retried once bytes arrive.
+func TestReaderHeaderDeadlineRetry(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	r := NewReader(b)
+
+	frame := AppendDecode(nil, 1, 7, synPattern(64, 3))
+	go func() { _, _ = a.Write(frame[:10]) }() // half a header, then silence
+
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := r.ReadFrame(); err == nil {
+		t.Fatal("ReadFrame succeeded on half a header")
+	} else if nerr := net.Error(nil); !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("mid-header error = %v, want timeout", err)
+	}
+	if r.Broken() != nil {
+		t.Fatalf("mid-header timeout poisoned the stream: %v", r.Broken())
+	}
+
+	go func() { _, _ = a.Write(frame[10:]) }()
+	_ = b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	h, payload, err := r.ReadFrame()
+	if err != nil {
+		t.Fatalf("retry after header timeout: %v", err)
+	}
+	if h.Op != OpDecode || h.ReqID != 7 || !bytes.Equal(payload, frame[HeaderSize:]) {
+		t.Fatalf("retried frame drifted: %+v", h)
+	}
+}
+
+// TestReaderPartialPayloadPoisons proves a deadline firing with a
+// partially-read frame poisons the connection: the parser must never
+// resume from the middle of a frame.
+func TestReaderPartialPayloadPoisons(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	r := NewReader(b)
+
+	frame := AppendDecode(nil, 1, 9, synPattern(256, 2))
+	go func() { _, _ = a.Write(frame[:HeaderSize+5]) }() // header + part of the payload
+
+	_ = b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := r.ReadFrame(); err == nil {
+		t.Fatal("ReadFrame succeeded on a truncated payload")
+	}
+	if r.Broken() == nil {
+		t.Fatal("mid-payload timeout did not poison the stream")
+	}
+
+	// Even after the rest arrives the stream must stay dead: the
+	// consumed prefix makes re-framing unsound.
+	go func() { _, _ = a.Write(frame[HeaderSize+5:]) }()
+	_ = b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := r.ReadFrame(); err == nil {
+		t.Fatal("poisoned reader returned a frame")
+	}
+	if r.FrameBuffered() {
+		t.Fatal("poisoned reader claims a buffered frame")
+	}
+}
+
+// TestReaderResync proves the opt-in resync scan recovers the stream
+// after a corrupted frame header, counts the desync, and that the
+// default reader fails fast instead.
+func TestReaderResync(t *testing.T) {
+	f1 := AppendDecode(nil, 1, 1, synPattern(128, 2))
+	f2 := AppendDecode(nil, 1, 2, synPattern(128, 3))
+	buf := append(append([]byte{}, f1...), f2...)
+	buf[0] ^= 0xFF // corrupt frame 1's magic
+
+	// Default: fail fast and poison.
+	r := NewReader(bytes.NewReader(buf))
+	if _, _, err := r.ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("default reader error = %v, want ErrBadMagic", err)
+	}
+	if r.Broken() == nil {
+		t.Fatal("default reader did not poison on bad magic")
+	}
+
+	// Resync: frame 1 is lost, frame 2 comes back intact.
+	r = NewReader(bytes.NewReader(buf))
+	r.EnableResync()
+	h, payload, err := r.ReadFrame()
+	if err != nil {
+		t.Fatalf("resync read: %v", err)
+	}
+	if h.ReqID != 2 || !bytes.Equal(payload, f2[HeaderSize:]) {
+		t.Fatalf("resync recovered the wrong frame: %+v", h)
+	}
+	if r.Desyncs() != 1 {
+		t.Fatalf("desyncs = %d, want 1", r.Desyncs())
+	}
+	if r.SkippedBytes() != uint64(len(f1)) {
+		t.Fatalf("skipped = %d, want %d", r.SkippedBytes(), len(f1))
+	}
+}
+
+// TestReaderResyncExhausted proves a stream with no recoverable frame
+// boundary terminates with ErrDesync instead of scanning forever.
+func TestReaderResyncExhausted(t *testing.T) {
+	junk := bytes.Repeat([]byte{0x13, 0x37}, 2048)
+	r := NewReader(bytes.NewReader(junk))
+	r.EnableResync()
+	if _, _, err := r.ReadFrame(); err == nil {
+		t.Fatal("ReadFrame accepted pure junk")
+	}
+	if r.Broken() == nil {
+		t.Fatal("exhausted resync did not poison the stream")
+	}
+}
+
+// TestClientInFlightAccounting proves the pending FIFO yields exactly
+// one terminal outcome per queued request across the three exits:
+// answered, lost-to-desync, and unanswered-at-death.
+func TestClientInFlightAccounting(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewClient(b, time.Second)
+
+	syn := synPattern(64, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Drain the client's flush, then answer req 2 and 4 only —
+		// as if a desync destroyed 1 and 3's responses. The wire
+		// level simulates this by simply never sending them.
+		r := NewReader(a)
+		for i := 0; i < 4; i++ {
+			if _, _, err := r.ReadFrame(); err != nil {
+				return
+			}
+		}
+		res := Result{Status: StatusOK, Correction: syn, Observables: gf2.NewVec(0)}
+		out := AppendResult(nil, 0, 1, 2, &res)
+		out = AppendResult(out, 0, 1, 4, &res)
+		_, _ = a.Write(out)
+	}()
+
+	for id := uint64(1); id <= 4; id++ {
+		c.QueueDecode(1, id, syn)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if c.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", c.Pending())
+	}
+
+	var res Result
+	SizeResult(&res, 64, 0)
+	h, err := c.ReadResult(&res)
+	if err != nil {
+		t.Fatalf("read result: %v", err)
+	}
+	if h.ReqID != 2 {
+		t.Fatalf("first answered id = %d, want 2", h.ReqID)
+	}
+	if lost := c.TakeLost(); len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("lost = %v, want [1]", lost)
+	}
+	h, err = c.ReadResult(&res)
+	if err != nil || h.ReqID != 4 {
+		t.Fatalf("second answered id = %d (%v), want 4", h.ReqID, err)
+	}
+	if lost := c.TakeLost(); len(lost) != 1 || lost[0] != 3 {
+		t.Fatalf("lost = %v, want [3]", lost)
+	}
+	// 1 and 3 lost, 2 and 4 answered: nothing pending at death.
+	if p := c.DrainPending(); len(p) != 0 {
+		t.Fatalf("pending at exit = %v, want none", p)
+	}
+	<-done
+}
+
+// TestClientUnknownReqIDPoisons proves a response id the client never
+// queued poisons the connection — a payload is never attributed to the
+// wrong request.
+func TestClientUnknownReqIDPoisons(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewClient(b, time.Second)
+
+	syn := synPattern(64, 2)
+	go func() {
+		r := NewReader(a)
+		_, _, _ = r.ReadFrame()
+		res := Result{Status: StatusOK, Correction: syn, Observables: gf2.NewVec(0)}
+		_, _ = a.Write(AppendResult(nil, 0, 1, 999, &res))
+	}()
+
+	c.QueueDecode(1, 5, syn)
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	var res Result
+	SizeResult(&res, 64, 0)
+	if _, err := c.ReadResult(&res); !errors.Is(err, ErrReqIDMismatch) {
+		t.Fatalf("unknown id error = %v, want ErrReqIDMismatch", err)
+	}
+	if c.Err() == nil {
+		t.Fatal("client did not poison on unknown req id")
+	}
+	if p := c.DrainPending(); len(p) != 1 || p[0] != 5 {
+		t.Fatalf("pending at death = %v, want [5]", p)
+	}
+}
+
+// TestRedialerBackoff proves the reconnect schedule: no pause on the
+// first attempt, jittered exponential growth in [0.5b, 1.5b), and the
+// hard cap.
+func TestRedialerBackoff(t *testing.T) {
+	d := &Redialer{Addr: "127.0.0.1:1", BackoffMin: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond, Seed: 7}
+	if b := d.Backoff(); b != 0 {
+		t.Fatalf("fresh backoff = %v, want 0", b)
+	}
+	for want, fails := 10*time.Millisecond, 1; fails <= 6; fails++ {
+		d.fails = fails
+		b := d.Backoff()
+		lo, hi := want/2, want+want/2
+		if b < lo || b >= hi {
+			t.Fatalf("fails=%d backoff %v outside [%v, %v)", fails, b, lo, hi)
+		}
+		if want < 80*time.Millisecond {
+			want *= 2
+		}
+	}
+	// A live dial failure grows the counter; success resets it.
+	d.fails = 0
+	d.BackoffMin = time.Millisecond
+	if _, err := d.Dial(); err == nil {
+		t.Fatal("dial to port 1 succeeded")
+	}
+	if d.Fails() != 1 {
+		t.Fatalf("fails after failed dial = %d, want 1", d.Fails())
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			defer c.Close()
+			buf := make([]byte, 1)
+			_, _ = c.Read(buf)
+		}
+	}()
+	d.Addr = ln.Addr().String()
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if d.Fails() != 0 {
+		t.Fatalf("fails after success = %d, want 0", d.Fails())
+	}
+}

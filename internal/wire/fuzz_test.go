@@ -148,6 +148,16 @@ func FuzzWireParseCorrupt(f *testing.F) {
 	unknown := append(append([]byte{}, traced...), 0)
 	unknown[len(unknown)-traceBlockSize-1] = TelemetryVersion + 1
 	f.Add(unknown, 72)
+	// Mid-stream byte-flip seeds over the canonical multi-frame
+	// pipelined buffer: magic of frame 2, payload-length field of
+	// frame 1, a payload byte of frame 2, and a req-id byte of
+	// frame 3 — the desync classes the resync scanner must survive.
+	pipe, bounds, _ := resyncPipeline()
+	for _, off := range []int{bounds[1].start, 16, bounds[1].start + HeaderSize + 3, bounds[2].start + 8} {
+		flipped := append([]byte{}, pipe...)
+		flipped[off] ^= 0xFF
+		f.Add(flipped, 72)
+	}
 	f.Fuzz(func(t *testing.T, raw []byte, n int) {
 		if n <= 0 || n > 4096 {
 			t.Skip()
@@ -208,7 +218,85 @@ func FuzzWireParseCorrupt(f *testing.F) {
 		if _, _, err := ParseError(payload); err != nil && !isProtoErr(err) {
 			t.Fatalf("unexpected error class: %v", err)
 		}
+
+		// Stream pass: a resync-enabled Reader over the same bytes must
+		// terminate without panicking, and — when raw is the canonical
+		// pipelined buffer with exactly ONE byte flipped — must never
+		// attribute a payload to the wrong req-id: any yielded frame
+		// whose original byte range the flip did not touch has to come
+		// back bit-identical. (A flip inside a frame's own bytes may
+		// corrupt that frame arbitrarily, including its req-id; no
+		// checksum exists to catch that, so only untouched frames are
+		// held to the attribution bar.)
+		checkStreamResync(t, raw)
 	})
+}
+
+// frameSpan is one frame's byte range inside the canonical pipelined
+// buffer built by resyncPipeline.
+type frameSpan struct{ start, end int }
+
+// resyncPipeline builds the canonical 3-frame pipelined decode buffer
+// (req-ids 1..3) used by the byte-flip resync seeds. The syndromes are
+// alternating-bit patterns, so no single-byte flip can fabricate a
+// spurious frame magic inside a payload.
+func resyncPipeline() (buf []byte, bounds [3]frameSpan, payloads [3][]byte) {
+	for i := 0; i < 3; i++ {
+		syn := gf2.NewVec(128)
+		for j := 1; j < 128; j += 2 {
+			syn.Set(j, true) // 0xAA payload bytes
+		}
+		start := len(buf)
+		buf = AppendDecode(buf, 1, uint64(i+1), syn)
+		bounds[i] = frameSpan{start: start, end: len(buf)}
+		payloads[i] = append([]byte{}, buf[start+HeaderSize:]...)
+	}
+	return buf, bounds, payloads
+}
+
+// checkStreamResync drains raw through a resync-enabled Reader and
+// enforces the no-misattribution invariant against the canonical
+// pipelined buffer when raw is one flip away from it.
+func checkStreamResync(t *testing.T, raw []byte) {
+	t.Helper()
+	pipe, bounds, payloads := resyncPipeline()
+	flip := -1
+	if len(raw) == len(pipe) {
+		diffs := 0
+		for i := range raw {
+			if raw[i] != pipe[i] {
+				flip = i
+				diffs++
+				if diffs > 1 {
+					break
+				}
+			}
+		}
+		if diffs != 1 {
+			flip = -1
+		}
+	}
+	r := NewReader(bytes.NewReader(raw))
+	r.EnableResync()
+	// Every successful ReadFrame consumes at least HeaderSize bytes, so
+	// a terminating reader yields at most len(raw)/HeaderSize frames.
+	for i := 0; i <= len(raw)/HeaderSize+1; i++ {
+		h, payload, err := r.ReadFrame()
+		if err != nil {
+			return // terminal: EOF, proto error or exhausted resync
+		}
+		if flip < 0 || h.ReqID < 1 || h.ReqID > 3 {
+			continue
+		}
+		fs := bounds[h.ReqID-1]
+		if flip >= fs.start && flip < fs.end {
+			continue // the flip hit this frame's own bytes
+		}
+		if h.Op != OpDecode || !bytes.Equal(payload, payloads[h.ReqID-1]) {
+			t.Fatalf("payload misattributed to req-id %d after flip at %d", h.ReqID, flip)
+		}
+	}
+	t.Fatalf("resync reader did not terminate over %d bytes", len(raw))
 }
 
 func isProtoErr(err error) bool {

@@ -744,6 +744,51 @@ func TrimServerTiming(flags Flags, payload []byte) []byte {
 
 // ---- relay ----
 
+// ValidResultPayload reports whether an OpResult payload would parse at
+// a client bound to a model with numMech mechanism and numObs
+// observable bits: after trimming any recognizable server-timing block,
+// the fixed prefix plus — on StatusOK — exactly the two vector blocks
+// with the expected bit lengths, and nothing else. The router uses it
+// as a relay gate: a payload corrupted in flight (a flipped
+// vector-length byte, a mangled telemetry tail) is retried upstream
+// instead of being handed to a client whose only recourse is tearing
+// down the stream. It inspects lengths only, so it stays cheap on the
+// relay hot path.
+//
+//vegapunk:hotpath
+func ValidResultPayload(flags Flags, payload []byte, numMech, numObs int) bool {
+	b := TrimServerTiming(flags, payload)
+	if len(b) < resultFixedSize || b[0] >= byte(numStatuses) {
+		return false
+	}
+	if Status(b[0]) != StatusOK {
+		return len(b) == resultFixedSize
+	}
+	b = b[resultFixedSize:]
+	b, ok := validVecBlock(b, numMech)
+	if !ok {
+		return false
+	}
+	b, ok = validVecBlock(b, numObs)
+	return ok && len(b) == 0
+}
+
+// validVecBlock consumes one vector block iff it declares exactly n
+// bits, returning the remaining bytes.
+//
+//vegapunk:hotpath
+func validVecBlock(b []byte, n int) ([]byte, bool) {
+	if len(b) < 4 || int(binary.LittleEndian.Uint32(b)) != n {
+		return nil, false
+	}
+	b = b[4:]
+	w := 8 * wordsFor(n)
+	if len(b) < w {
+		return nil, false
+	}
+	return b[w:], true
+}
+
 // AppendFrame re-emits an already-encoded payload under a rewritten
 // header: the router relays backend responses to its clients without
 // re-parsing the vector blocks.

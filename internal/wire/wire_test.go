@@ -136,6 +136,69 @@ func TestResultFrameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestValidResultPayload(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	res := Result{
+		Status:      StatusOK,
+		Satisfied:   true,
+		Correction:  randVec(144, rng),
+		Observables: randVec(12, rng),
+	}
+	st := ServerTiming{Tier: 1, QueueWaitNs: 100, DecodeNs: 200, CopyOutNs: 50, ServerTick: 7}
+
+	plain := AppendResult(nil, 0, 3, 1, &res)[HeaderSize:]
+	timedBuf := AppendResultTimed(nil, 0, 3, 1, &res, &st)[HeaderSize:]
+	if !ValidResultPayload(0, plain, 144, 12) {
+		t.Fatal("well-formed plain payload rejected")
+	}
+	if !ValidResultPayload(FlagTelemetry, timedBuf, 144, 12) {
+		t.Fatal("well-formed timed payload rejected")
+	}
+
+	// Wrong dimensions: the vec lengths no longer match the model.
+	if ValidResultPayload(0, plain, 143, 12) || ValidResultPayload(0, plain, 144, 13) {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// A flipped byte in the correction length prefix desyncs the block
+	// structure — exactly the corruption the router relay gate exists
+	// to catch.
+	corrupt := append([]byte(nil), plain...)
+	corrupt[resultFixedSize] ^= 0xFF
+	if ValidResultPayload(0, corrupt, 144, 12) {
+		t.Fatal("corrupted vec length accepted")
+	}
+	// Truncation and trailing garbage both fail.
+	if ValidResultPayload(0, plain[:len(plain)-1], 144, 12) {
+		t.Fatal("truncated payload accepted")
+	}
+	if ValidResultPayload(0, append(append([]byte(nil), plain...), 0), 144, 12) {
+		t.Fatal("trailing byte accepted")
+	}
+	// A mangled telemetry version byte makes the block untrimmable, so
+	// the payload must be rejected rather than relayed with a tail the
+	// client cannot parse.
+	badTail := append([]byte(nil), timedBuf...)
+	badTail[len(badTail)-timingBlockSize] ^= 0xFF
+	if ValidResultPayload(FlagTelemetry, badTail, 144, 12) {
+		t.Fatal("mangled telemetry tail accepted")
+	}
+
+	// Non-OK payloads are exactly the fixed prefix.
+	res.Status = StatusShed
+	shed := AppendResult(nil, 0, 3, 2, &res)[HeaderSize:]
+	if !ValidResultPayload(0, shed, 144, 12) {
+		t.Fatal("well-formed non-OK payload rejected")
+	}
+	if ValidResultPayload(0, append(append([]byte(nil), shed...), 0), 144, 12) {
+		t.Fatal("non-OK payload with trailing byte accepted")
+	}
+	bad := append([]byte(nil), shed...)
+	bad[0] = byte(numStatuses)
+	if ValidResultPayload(0, bad, 144, 12) {
+		t.Fatal("invalid status byte accepted")
+	}
+}
+
 func TestHelloAndErrorFrames(t *testing.T) {
 	buf := AppendHello(nil, 5, "bb-72-12-6/bp/p0.001")
 	h, _ := ParseHeader(buf)
